@@ -1,0 +1,166 @@
+//! Time-efficiency benchmarks (Table T-C).
+//!
+//! The paper claims O(n) placement for the scan strategies and O(k) for
+//! the precomputed variant (Section 3.3). These benches measure per-ball
+//! placement cost across strategies, system sizes and replication degrees,
+//! plus construction cost (the price the O(k) variant pays up front).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rshare_core::{
+    BinSet, FastRedundantShare, LinMirror, PlacementStrategy, RedundantShare, SystematicPps,
+    TrivialReplication,
+};
+use rshare_rush::{RushP, SubCluster};
+use std::hint::black_box;
+
+fn heterogeneous(n: usize) -> BinSet {
+    BinSet::from_capacities((0..n as u64).map(|i| 500_000 + i * 100_000)).expect("valid bins")
+}
+
+/// Per-ball placement cost of every strategy on 8 heterogeneous bins.
+fn placement_throughput(c: &mut Criterion) {
+    let bins = heterogeneous(8);
+    let k = 3;
+    let mut group = c.benchmark_group("placement_throughput_n8_k3");
+    group.throughput(Throughput::Elements(1));
+    let strategies: Vec<(&str, Box<dyn PlacementStrategy>)> = vec![
+        (
+            "redundant_share",
+            Box::new(RedundantShare::new(&bins, k).unwrap()),
+        ),
+        (
+            "fast_redundant_share",
+            Box::new(FastRedundantShare::new(&bins, k).unwrap()),
+        ),
+        (
+            "trivial",
+            Box::new(TrivialReplication::new(&bins, k).unwrap()),
+        ),
+        (
+            "systematic_pps",
+            Box::new(SystematicPps::new(&bins, k).unwrap()),
+        ),
+        (
+            "rush_p",
+            Box::new(
+                RushP::new(
+                    (0..8)
+                        .map(|i| SubCluster::new(1, 500_000.0 + f64::from(i) * 100_000.0).unwrap()),
+                    k,
+                )
+                .unwrap(),
+            ),
+        ),
+    ];
+    for (name, strat) in &strategies {
+        group.bench_function(*name, |b| {
+            let mut out = Vec::with_capacity(k);
+            let mut ball = 0u64;
+            b.iter(|| {
+                ball = ball.wrapping_add(1);
+                strat.place_into(black_box(ball), &mut out);
+                black_box(&out);
+            });
+        });
+    }
+    // LinMirror (k = 2) on the same bins for reference.
+    let mirror = LinMirror::new(&bins).unwrap();
+    group.bench_function("linmirror_k2", |b| {
+        let mut ball = 0u64;
+        b.iter(|| {
+            ball = ball.wrapping_add(1);
+            black_box(mirror.place_pair(black_box(ball)));
+        });
+    });
+    group.finish();
+}
+
+/// O(n) scan versus O(k) precomputed variant as the system grows.
+fn scaling_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_n_k3");
+    group.throughput(Throughput::Elements(1));
+    for n in [8usize, 32, 128, 512] {
+        let bins = heterogeneous(n);
+        let scan = RedundantShare::new(&bins, 3).unwrap();
+        let fast = FastRedundantShare::new(&bins, 3).unwrap();
+        group.bench_with_input(BenchmarkId::new("scan_O(n)", n), &n, |b, _| {
+            let mut out = Vec::with_capacity(3);
+            let mut ball = 0u64;
+            b.iter(|| {
+                ball = ball.wrapping_add(1);
+                scan.place_into(black_box(ball), &mut out);
+                black_box(&out);
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("fast_O(k)", n), &n, |b, _| {
+            let mut out = Vec::with_capacity(3);
+            let mut ball = 0u64;
+            b.iter(|| {
+                ball = ball.wrapping_add(1);
+                fast.place_into(black_box(ball), &mut out);
+                black_box(&out);
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Placement cost as the replication degree grows (n = 64).
+fn scaling_k(c: &mut Criterion) {
+    let bins = heterogeneous(64);
+    let mut group = c.benchmark_group("scaling_k_n64");
+    group.throughput(Throughput::Elements(1));
+    for k in [1usize, 2, 4, 8] {
+        let scan = RedundantShare::new(&bins, k).unwrap();
+        let fast = FastRedundantShare::new(&bins, k).unwrap();
+        group.bench_with_input(BenchmarkId::new("scan_O(n)", k), &k, |b, _| {
+            let mut out = Vec::with_capacity(k);
+            let mut ball = 0u64;
+            b.iter(|| {
+                ball = ball.wrapping_add(1);
+                scan.place_into(black_box(ball), &mut out);
+                black_box(&out);
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("fast_O(k)", k), &k, |b, _| {
+            let mut out = Vec::with_capacity(k);
+            let mut ball = 0u64;
+            b.iter(|| {
+                ball = ball.wrapping_add(1);
+                fast.place_into(black_box(ball), &mut out);
+                black_box(&out);
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Construction (precomputation) cost: what the O(k) query time costs up
+/// front, and the scan strategy's calibration cost.
+fn construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construction_k3");
+    for n in [8usize, 64, 256] {
+        let bins = heterogeneous(n);
+        group.bench_with_input(BenchmarkId::new("scan", n), &n, |b, _| {
+            b.iter(|| black_box(RedundantShare::new(&bins, 3).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("fast", n), &n, |b, _| {
+            b.iter(|| black_box(FastRedundantShare::new(&bins, 3).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(30)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = placement_throughput, scaling_n, scaling_k, construction
+}
+criterion_main!(benches);

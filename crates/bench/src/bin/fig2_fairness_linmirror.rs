@@ -1,0 +1,62 @@
+//! Figure 2: fairness of LinMirror across the 8 → 10 → 12 → 10 → 8
+//! heterogeneous-bin scenario.
+//!
+//! The paper bulk-loads mirrored blocks, then adds two times two growing
+//! bins and removes two times the two smallest bins, measuring "how much
+//! percent of each bin is used" after each step — a flat profile means
+//! fair. This binary prints the per-bin usage (normalised to the stage
+//! mean, so 1.0 = perfectly fair) for every stage.
+
+use rshare_bench::{f, print_table, section};
+use rshare_core::LinMirror;
+use rshare_workload::measure_fairness;
+use rshare_workload::scenario::paper_scenario;
+
+fn main() {
+    let balls = 300_000u64;
+    section("Figure 2: LinMirror usage per bin across scenario stages (k = 2)");
+    println!("(values are bin usage relative to the stage mean; 1.0 = perfectly fair)\n");
+    let mut rows = Vec::new();
+    let mut worst = 0.0f64;
+    for stage in paper_scenario() {
+        let mirror = LinMirror::new(&stage.bins).unwrap();
+        let report = measure_fairness(&mirror, balls);
+        let caps: Vec<u64> = stage.bins.bins().iter().map(|b| b.capacity()).collect();
+        let usage = report.usage_fractions(&caps);
+        let mean: f64 = usage.iter().sum::<f64>() / usage.len() as f64;
+        let rel: Vec<f64> = usage.iter().map(|u| u / mean).collect();
+        let max_dev = rel.iter().map(|r| (r - 1.0).abs()).fold(0.0, f64::max);
+        worst = worst.max(max_dev);
+        // The figure's bars: per-bin relative usage at this stage.
+        let bars: Vec<String> = stage
+            .bins
+            .bins()
+            .iter()
+            .zip(&rel)
+            .map(|(b, r)| format!("{}:{:.3}", b.id().raw(), r))
+            .collect();
+        println!("{:>18}  {}", stage.label, bars.join("  "));
+        rows.push(vec![
+            stage.label.to_string(),
+            stage.bins.len().to_string(),
+            f(rel.iter().cloned().fold(f64::MAX, f64::min)),
+            f(rel.iter().cloned().fold(f64::MIN, f64::max)),
+            f(max_dev),
+        ]);
+    }
+    print_table(
+        &[
+            "stage",
+            "bins",
+            "min rel use",
+            "max rel use",
+            "max deviation",
+        ],
+        &rows,
+    );
+    println!(
+        "\npaper (Figure 2): 'the distribution for heterogeneous bins is fair' —\n\
+         all bars flat at each stage. measured worst deviation: {}",
+        f(worst)
+    );
+}

@@ -1,0 +1,70 @@
+//! Table T-H: adaptivity under *capacity* changes.
+//!
+//! The paper's adaptivity criterion (Section 1.1) covers "any change in
+//! the set of data blocks, storage devices, **or their capacities**". This
+//! experiment resizes one bin of the heterogeneous base system (a device
+//! swapped for a bigger/smaller model under the same name) and measures
+//! the replaced copies against the optimal movement: the change in the
+//! bin's fair share of copies.
+
+use rshare_bench::{f, print_table, section};
+use rshare_core::{BinSet, PlacementStrategy, RedundantShare, TableBased};
+use rshare_workload::scenario::heterogeneous_bins;
+
+fn optimal_moves(before: &BinSet, after: &BinSet, k: usize, m: u64) -> u64 {
+    let mut table = TableBased::new(before, k, m).expect("fits");
+    table.rebalance(after).expect("rebalance").moved
+}
+
+fn measured_moves(before: &BinSet, after: &BinSet, k: usize, m: u64) -> u64 {
+    let a = RedundantShare::new(before, k).unwrap();
+    let b = RedundantShare::new(after, k).unwrap();
+    let mut moved = 0u64;
+    let (mut va, mut vb) = (Vec::new(), Vec::new());
+    for ball in 0..m {
+        a.place_into(ball, &mut va);
+        b.place_into(ball, &mut vb);
+        moved += va.iter().zip(&vb).filter(|(x, y)| x != y).count() as u64;
+    }
+    moved
+}
+
+fn main() {
+    let k = 2usize;
+    let m = 100_000u64;
+    let base = heterogeneous_bins(8);
+    section("Table T-H: capacity-change adaptivity (k = 2, 8 heterogeneous bins)");
+    let mut rows = Vec::new();
+    // Resize the biggest (last id 1007, capacity 1.2M) and the smallest
+    // (id 1000, 0.5M) up and down by 50 %.
+    let cases = [
+        ("grow smallest +50%", 1_000u64, 750_000u64),
+        ("shrink smallest -50%", 1_000, 250_000),
+        ("grow biggest +50%", 1_007, 1_800_000),
+        ("shrink biggest -50%", 1_007, 600_000),
+    ];
+    for (label, id, new_cap) in cases {
+        let after = base.with_capacity(id.into(), new_cap).unwrap();
+        let opt = optimal_moves(&base, &after, k, m);
+        let got = measured_moves(&base, &after, k, m);
+        rows.push(vec![
+            label.to_string(),
+            opt.to_string(),
+            got.to_string(),
+            f(got as f64 / opt as f64),
+        ]);
+    }
+    print_table(
+        &["change", "optimal moves", "redundant share moves", "ratio"],
+        &rows,
+    );
+    println!(
+        "\npaper (Section 1.1): adaptivity covers capacity changes. A resize\n\
+         that keeps the bin's rank behaves like the insertion cases\n\
+         (factors ≈1.4–2.6); a resize that *reorders* the scan (shrinking\n\
+         the biggest bin by half drops it several ranks) is equivalent to a\n\
+         removal plus an insertion, so its cost is bounded by the sum of\n\
+         the two Lemma 3.2 bounds (8 for k = 2) rather than a single one —\n\
+         visible as the larger ratio in the last row."
+    );
+}

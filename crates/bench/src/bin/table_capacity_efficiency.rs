@@ -1,0 +1,89 @@
+//! Table T-A (in-text claims of Sections 2.1/2.2): capacity efficiency.
+//!
+//! For a set of adversarial capacity vectors this binary reports:
+//! * the naive bound `⌊B / k⌋`,
+//! * the true maximum `B_max` from Lemma 2.2 (adjusted capacities),
+//! * that the greedy construction of Lemma 2.1 achieves `B_max` but not
+//!   `B_max + 1`, and
+//! * the *effective* capacity achieved by the trivial strategy versus
+//!   Redundant Share, measured as the number of balls storable before any
+//!   bin overflows its expected share (capacity-efficiency in practice).
+
+use rshare_bench::{f, print_table, section};
+use rshare_core::capacity::{greedy_pack, max_balls};
+use rshare_core::{BinSet, PlacementStrategy, RedundantShare, TrivialReplication};
+
+/// Effective storable balls: with loads `L_i` after `m` balls and bin
+/// capacities `b_i`, the placement fills the system until the *fullest*
+/// bin (relative to capacity) overflows — so the achievable ball count
+/// scales by `min_i b_i / L_i · m`.
+fn effective_capacity(strategy: &dyn PlacementStrategy, caps: &[u64], balls: u64) -> f64 {
+    let mut counts = vec![0u64; caps.len()];
+    let mut out = Vec::new();
+    for ball in 0..balls {
+        strategy.place_into(ball, &mut out);
+        for id in &out {
+            let pos = strategy.bin_ids().iter().position(|b| b == id).unwrap();
+            counts[pos] += 1;
+        }
+    }
+    caps.iter()
+        .zip(&counts)
+        .filter(|(_, &c)| c > 0)
+        .map(|(&cap, &c)| cap as f64 / c as f64 * balls as f64)
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn main() {
+    let cases: Vec<(&str, Vec<u64>, usize)> = vec![
+        ("paper Fig.1 (2,1,1)", vec![2_000, 1_000, 1_000], 2),
+        ("dominant bin", vec![10_000, 2_000, 1_000], 2),
+        ("two dominant, k=3", vec![10_000, 10_000, 1_000, 100], 3),
+        ("balanced 6 bins", vec![600, 500, 400, 300, 200, 100], 2),
+        (
+            "near-uniform, k=4",
+            vec![1_050, 1_020, 1_000, 990, 980, 950],
+            4,
+        ),
+    ];
+    section("Table T-A: capacity efficiency (Lemmas 2.1 / 2.2)");
+    let mut rows = Vec::new();
+    for (name, caps, k) in &cases {
+        let naive = caps.iter().sum::<u64>() / *k as u64;
+        let bmax = max_balls(caps, *k);
+        let greedy_ok = greedy_pack(caps, *k, bmax).is_some();
+        let greedy_tight = greedy_pack(caps, *k, bmax + 1).is_none();
+        let bins = BinSet::from_capacities(caps.iter().copied()).unwrap();
+        let rs = RedundantShare::new(&bins, *k).unwrap();
+        let trivial = TrivialReplication::new(&bins, *k).unwrap();
+        let rs_eff = effective_capacity(&rs, caps, 200_000) / bmax as f64;
+        let tr_eff = effective_capacity(&trivial, caps, 200_000) / bmax as f64;
+        rows.push(vec![
+            (*name).to_string(),
+            k.to_string(),
+            naive.to_string(),
+            bmax.to_string(),
+            format!("{greedy_ok}/{greedy_tight}"),
+            f(rs_eff),
+            f(tr_eff),
+        ]);
+    }
+    print_table(
+        &[
+            "capacities",
+            "k",
+            "naive B/k",
+            "B_max (L2.2)",
+            "greedy ok/tight",
+            "RS eff.",
+            "trivial eff.",
+        ],
+        &rows,
+    );
+    println!(
+        "\n'eff.' = achievable balls / B_max (1.0 = capacity efficient).\n\
+         paper: Redundant Share is capacity efficient on every vector; the\n\
+         trivial strategy falls short whenever bins are heterogeneous\n\
+         (Lemma 2.4), e.g. by 1/12 on the Figure 1 vector."
+    );
+}

@@ -1,0 +1,46 @@
+//! Table T-B (Section 3.1 in-text): LinMirror competitive ratios for
+//! n = 4..60 bins.
+//!
+//! "Therefor we added a bin to 4 up to 60 bins and measured the factor of
+//! replaced blocks divided by the block used on the newest disk. … Again,
+//! we get nearly constant competitive ratios of about 1.5 for adding the
+//! biggest disk and 2.5 for adding the smallest disk."
+
+use rshare_bench::{f, print_table, section};
+use rshare_core::LinMirror;
+use rshare_workload::movement::measure_movement;
+use rshare_workload::scenario::{adaptivity_pair, homogeneous_bins, ChangeKind};
+
+fn main() {
+    let balls = 80_000u64;
+    section("Table T-B: LinMirror competitive ratios, homogeneous bins, n = 4..60");
+    let mut rows = Vec::new();
+    let (mut sum_big, mut sum_small, mut count) = (0.0, 0.0, 0u32);
+    let mut n = 4usize;
+    while n <= 60 {
+        let base = homogeneous_bins(n);
+        let mut cells = vec![n.to_string()];
+        for (kind, acc) in [
+            (ChangeKind::AddBiggest, &mut sum_big),
+            (ChangeKind::AddSmallest, &mut sum_small),
+        ] {
+            let (before, after, affected) = adaptivity_pair(&base, kind);
+            let a = LinMirror::new(&before).unwrap();
+            let b = LinMirror::new(&after).unwrap();
+            let factor = measure_movement(&a, &b, affected, balls).factor();
+            *acc += factor;
+            cells.push(f(factor));
+        }
+        count += 1;
+        rows.push(cells);
+        n += 8;
+    }
+    print_table(&["bins", "add as biggest", "add as smallest"], &rows);
+    println!(
+        "\nmean factors: biggest {} / smallest {}\n\
+         paper: 'nearly constant competitive ratios of about 1.5 for adding\n\
+         the biggest disk and 2.5 for adding the smallest disk'.",
+        f(sum_big / f64::from(count)),
+        f(sum_small / f64::from(count))
+    );
+}

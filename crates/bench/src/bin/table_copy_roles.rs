@@ -1,0 +1,84 @@
+//! Table T-J: where each sub-block role lives.
+//!
+//! The paper stresses that Redundant Share identifies the i-th of k copies
+//! because erasure codes give every sub-block a distinct meaning. The flip
+//! side: each copy index has its *own* distribution over the devices — the
+//! scan places early copies on big bins more often — so with an erasure
+//! code the "data" role and the "parity" role load devices differently,
+//! which matters for read traffic (reads touch data shards only).
+//!
+//! This binary prints the analytic per-copy distributions for an RS(4, 2)
+//! layout over heterogeneous devices, cross-checked against a sampled
+//! placement, plus the implied read-amplification profile.
+
+use rshare_bench::{f, print_table, section};
+use rshare_core::{BinSet, PlacementStrategy, RedundantShare};
+
+fn main() {
+    // 8 heterogeneous devices, RS(4, 2): copies 0..3 are data shards,
+    // copies 4..5 are parity shards.
+    let bins = BinSet::from_capacities((0..8u64).map(|i| 500_000 + i * 100_000)).unwrap();
+    let k = 6;
+    let data_shards = 4;
+    let strat = RedundantShare::new(&bins, k).unwrap();
+
+    section("Table T-J: per-copy (sub-block role) distribution, RS(4,2) on 8 bins");
+    let dists: Vec<Vec<f64>> = (0..k).map(|t| strat.copy_distribution(t)).collect();
+    let mut rows = Vec::new();
+    for (i, bin) in bins.bins().iter().enumerate() {
+        let mut cells = vec![bin.id().raw().to_string(), bin.capacity().to_string()];
+        for dist in &dists {
+            cells.push(f(dist[i]));
+        }
+        let data_load: f64 = dists[..data_shards].iter().map(|d| d[i]).sum();
+        let parity_load: f64 = dists[data_shards..].iter().map(|d| d[i]).sum();
+        cells.push(f(data_load));
+        cells.push(f(parity_load));
+        rows.push(cells);
+    }
+    print_table(
+        &[
+            "bin",
+            "capacity",
+            "copy0",
+            "copy1",
+            "copy2",
+            "copy3",
+            "par0",
+            "par1",
+            "data Σ",
+            "parity Σ",
+        ],
+        &rows,
+    );
+
+    // Cross-check the analytics against sampling.
+    let balls = 200_000u64;
+    let mut sampled = vec![vec![0u64; bins.len()]; k];
+    let mut out = Vec::new();
+    for ball in 0..balls {
+        strat.place_into(ball, &mut out);
+        for (t, id) in out.iter().enumerate() {
+            let pos = strat.bin_ids().iter().position(|b| b == id).unwrap();
+            sampled[t][pos] += 1;
+        }
+    }
+    let mut worst = 0.0f64;
+    for (t, dist) in dists.iter().enumerate() {
+        for (i, want) in dist.iter().enumerate() {
+            let got = sampled[t][i] as f64 / balls as f64;
+            worst = worst.max((got - want).abs());
+        }
+    }
+    println!(
+        "\nanalytic vs sampled (200k balls): worst absolute gap {}",
+        f(worst)
+    );
+    println!(
+        "\nreading a block touches its 4 data shards only: the 'data Σ' column\n\
+         is each device's share of read traffic. The scan loads early copies\n\
+         onto big devices, so data shards skew big — by design, since big\n\
+         devices must absorb proportionally more of every role to stay fair\n\
+         overall (the total per-bin share is exactly k·c_i)."
+    );
+}

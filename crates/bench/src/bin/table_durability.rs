@@ -1,0 +1,68 @@
+//! Table T-K: durability of redundancy schemes under placed failures.
+//!
+//! Monte-Carlo missions over the actual Redundant Share placement: devices
+//! fail with exponential inter-arrival times and rebuild after a fixed
+//! window; a mission loses data when some redundancy group has more shards
+//! on simultaneously-failed devices than it tolerates. The failure rate is
+//! deliberately pessimistic (MTBF 30k hours ≈ 3.4 years, 48-hour rebuilds)
+//! so differences are visible within a feasible number of trials.
+
+use rshare_bench::{f, print_table, section};
+use rshare_core::{BinSet, RedundantShare};
+use rshare_workload::reliability::{simulate, ReliabilityConfig};
+
+fn main() {
+    let bins = BinSet::from_capacities((0..12u64).map(|i| 800_000 + i * 50_000)).unwrap();
+    let base = ReliabilityConfig {
+        blocks: 50_000,
+        tolerated: 0, // set per scheme below
+        device_mtbf_hours: 30_000.0,
+        rebuild_hours: 48.0,
+        mission_hours: 5.0 * 8_766.0, // 5 years
+    };
+    let trials = 200;
+    section("Table T-K: 5-year data-loss probability, 12 devices, pessimistic MTBF");
+    let schemes: Vec<(&str, usize, usize)> = vec![
+        // (label, k shards, tolerated losses)
+        ("no redundancy (k=1)", 1, 0),
+        ("2-way mirror", 2, 1),
+        ("3-way mirror", 3, 2),
+        ("RS(4,2)-like (k=6,t=2)", 6, 2),
+        ("RS(8,3)-like (k=11,t=3)", 11, 3),
+    ];
+    let mut rows = Vec::new();
+    for (label, k, tolerated) in schemes {
+        let strat = RedundantShare::new(&bins, k).unwrap();
+        let config = ReliabilityConfig { tolerated, ..base };
+        let report = simulate(&strat, config, trials, 0xD15C);
+        rows.push(vec![
+            label.to_string(),
+            k.to_string(),
+            tolerated.to_string(),
+            format!("{:.1}", report.mean_failures),
+            format!("{}/{}", report.losses, report.trials),
+            f(report.loss_probability()),
+            report
+                .mean_hours_to_loss
+                .map_or("—".to_string(), |h| format!("{:.0}", h / 24.0)),
+        ]);
+    }
+    print_table(
+        &[
+            "scheme",
+            "k",
+            "tolerated",
+            "failures/mission",
+            "lost missions",
+            "P(loss)",
+            "days to loss",
+        ],
+        &rows,
+    );
+    println!(
+        "\nshape: every added tolerated failure cuts the loss probability by\n\
+         orders of magnitude; wide codes pay more rebuild exposure (more\n\
+         devices per group) but tolerate more overlap. This is the quantified\n\
+         version of the paper's motivation for redundant placement."
+    );
+}

@@ -1,0 +1,76 @@
+//! Table T-D (ablation): the choice of `placeOneCopy` strategy.
+//!
+//! The paper leaves the fair single-copy subroutine pluggable, naming
+//! consistent hashing \[8\] and Share \[2\] as candidates. This ablation runs
+//! LinMirror over the Figure 2 bins with three different selectors and
+//! compares fairness (max relative deviation) and adaptivity (movement
+//! factor when the biggest bin is added), plus each selector's raw k = 1
+//! fairness.
+
+use rshare_bench::{f, print_table, section};
+use rshare_core::LinMirror;
+use rshare_hash::{
+    LinearMethod, LogarithmicMethod, Rendezvous, Share, Sieve, SingleCopySelector,
+    StatelessConsistent,
+};
+use rshare_workload::measure_fairness;
+use rshare_workload::movement::measure_movement;
+use rshare_workload::scenario::{adaptivity_pair, heterogeneous_bins, ChangeKind};
+
+fn run<S: SingleCopySelector + Clone>(name: &str, selector: S, rows: &mut Vec<Vec<String>>) {
+    let base = heterogeneous_bins(8);
+    let balls = 120_000u64;
+    let mirror = LinMirror::with_selector(&base, selector.clone()).unwrap();
+    let fairness = measure_fairness(&mirror, balls);
+    let (before, after, affected) = adaptivity_pair(&base, ChangeKind::AddBiggest);
+    let a = LinMirror::with_selector(&before, selector.clone()).unwrap();
+    let b = LinMirror::with_selector(&after, selector).unwrap();
+    let movement = measure_movement(&a, &b, affected, balls);
+    rows.push(vec![
+        name.to_string(),
+        f(fairness.max_relative_deviation()),
+        format!("{:.1}", fairness.chi_square()),
+        f(movement.factor()),
+    ]);
+}
+
+fn main() {
+    section("Table T-D: placeOneCopy ablation (LinMirror over the Figure 2 bins)");
+    let mut rows = Vec::new();
+    run("weighted rendezvous", Rendezvous::new(), &mut rows);
+    run("Share (stretch 8)", Share::new(8.0).unwrap(), &mut rows);
+    run(
+        "consistent hashing (64 vnodes/unit)",
+        StatelessConsistent::new(64),
+        &mut rows,
+    );
+    run("Sieve (rejection sampling)", Sieve::default(), &mut rows);
+    run(
+        "logarithmic method (64 points)",
+        LogarithmicMethod::with_points(64),
+        &mut rows,
+    );
+    run(
+        "linear method (64 points)",
+        LinearMethod::with_points(64),
+        &mut rows,
+    );
+    print_table(
+        &[
+            "placeOneCopy",
+            "max rel deviation",
+            "chi^2",
+            "move factor (add biggest)",
+        ],
+        &rows,
+    );
+    println!(
+        "\nrendezvous and Sieve are exactly fair in expectation (the paper's\n\
+         analysis assumes a perfectly fair subroutine), at different\n\
+         adaptivity costs — Sieve's rejection rounds re-roll on changes.\n\
+         Share, consistent hashing and the geometric methods of [11] carry\n\
+         per-instance position variance; at 64 ring points that variance\n\
+         dominates, hiding the linear method's systematic bias (which the\n\
+         unit tests of rshare-hash::weighted_dht isolate in expectation)."
+    );
+}

@@ -1,0 +1,92 @@
+//! Shared helpers for the experiment binaries that regenerate the paper's
+//! figures and tables.
+//!
+//! Every binary in `src/bin/` reproduces one evaluation artifact of the
+//! ICDCS 2007 paper (see `DESIGN.md`'s experiment index) and prints a
+//! plain-text table to stdout; `EXPERIMENTS.md` records paper-claim versus
+//! measured values. Criterion micro-benchmarks live in `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Prints a section header for an experiment report.
+pub fn section(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Prints an aligned text table: a header row followed by data rows.
+///
+/// Column widths are derived from the widest cell per column.
+///
+/// # Example
+///
+/// ```
+/// rshare_bench::print_table(
+///     &["bin", "share"],
+///     &[vec!["0".into(), "0.50".into()], vec!["1".into(), "0.25".into()]],
+/// );
+/// ```
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row width mismatch");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let line = |cells: Vec<&str>| {
+        let mut out = String::new();
+        for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&format!("{cell:>w$}", w = w));
+        }
+        println!("{out}");
+    };
+    line(headers.to_vec());
+    let seps: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    line(seps.iter().map(String::as_str).collect());
+    for row in rows {
+        line(row.iter().map(String::as_str).collect());
+    }
+}
+
+/// Formats a float with 4 decimal places (the precision used throughout
+/// the experiment reports).
+#[must_use]
+pub fn f(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+/// Formats a percentage with 2 decimal places.
+#[must_use]
+pub fn pct(v: f64) -> String {
+    format!("{:.2}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting() {
+        assert_eq!(f(0.123456), "0.1235");
+        assert_eq!(pct(0.5), "50.00%");
+    }
+
+    #[test]
+    fn table_does_not_panic() {
+        print_table(
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["33".into(), "4".into()]],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_rejects_ragged_rows() {
+        print_table(&["a", "b"], &[vec!["1".into()]]);
+    }
+}

@@ -1,0 +1,121 @@
+//! Minimal argument parsing for the `rshare` tool (no external deps).
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand plus `--key value` options.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    options: HashMap<String, String>,
+}
+
+/// Error produced by argument parsing or validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses `argv` (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] when no subcommand is given, an option is
+    /// missing its value, or a positional argument appears after options.
+    pub fn parse(argv: impl IntoIterator<Item = String>) -> Result<Self, ArgError> {
+        let mut it = argv.into_iter();
+        let command = it
+            .next()
+            .ok_or_else(|| ArgError("missing subcommand; try `rshare help`".into()))?;
+        let mut options = HashMap::new();
+        while let Some(tok) = it.next() {
+            let key = tok
+                .strip_prefix("--")
+                .ok_or_else(|| ArgError(format!("unexpected positional argument '{tok}'")))?;
+            let value = it
+                .next()
+                .ok_or_else(|| ArgError(format!("option --{key} is missing a value")))?;
+            options.insert(key.to_string(), value);
+        }
+        Ok(Self { command, options })
+    }
+
+    /// Required string option.
+    pub fn required(&self, key: &str) -> Result<&str, ArgError> {
+        self.options
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| ArgError(format!("missing required option --{key}")))
+    }
+
+    /// Optional string option.
+    #[must_use]
+    pub fn optional(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// Required integer option.
+    pub fn required_u64(&self, key: &str) -> Result<u64, ArgError> {
+        self.required(key)?
+            .parse()
+            .map_err(|_| ArgError(format!("option --{key} must be an integer")))
+    }
+
+    /// Optional integer option with a default.
+    pub fn u64_or(&self, key: &str, default: u64) -> Result<u64, ArgError> {
+        match self.optional(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("option --{key} must be an integer"))),
+        }
+    }
+
+    /// Comma-separated capacity list, e.g. `--capacities 500,400,300`.
+    pub fn capacities(&self) -> Result<Vec<u64>, ArgError> {
+        let raw = self.required("capacities")?;
+        raw.split(',')
+            .map(|part| {
+                part.trim()
+                    .parse::<u64>()
+                    .map_err(|_| ArgError(format!("bad capacity '{part}'")))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<Args, ArgError> {
+        Args::parse(tokens.iter().map(ToString::to_string))
+    }
+
+    #[test]
+    fn parses_subcommand_and_options() {
+        let args = parse(&["place", "--capacities", "5,4,3", "--k", "2"]).unwrap();
+        assert_eq!(args.command, "place");
+        assert_eq!(args.capacities().unwrap(), vec![5, 4, 3]);
+        assert_eq!(args.required_u64("k").unwrap(), 2);
+        assert_eq!(args.u64_or("balls", 10).unwrap(), 10);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["place", "stray"]).is_err());
+        assert!(parse(&["place", "--k"]).is_err());
+        let args = parse(&["place", "--capacities", "5,x"]).unwrap();
+        assert!(args.capacities().is_err());
+        assert!(args.required("missing").is_err());
+        assert!(args.required_u64("capacities").is_err());
+    }
+}

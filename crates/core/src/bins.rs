@@ -1,0 +1,334 @@
+//! The bin model: heterogeneous storage devices with stable identities.
+//!
+//! The paper's model (Section 1.1): bins `{1, …, N}` where bin `i` can hold
+//! `b_i` (copies of) balls; its relative capacity is `c_i = b_i / Σ b_j`.
+//! Bins carry *stable names* because every placement decision hashes the
+//! bin's name together with the ball's address — never the bin's position —
+//! which is what makes the strategies adaptive under membership changes.
+
+use crate::error::PlacementError;
+
+/// Stable identifier of a bin (storage device).
+///
+/// The identifier must be unique inside one system and must not be reused
+/// for a different physical device: placement randomness is derived from it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BinId(pub u64);
+
+impl BinId {
+    /// The raw 64-bit name, used as hash input.
+    #[must_use]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl From<u64> for BinId {
+    fn from(v: u64) -> Self {
+        Self(v)
+    }
+}
+
+impl std::fmt::Display for BinId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bin#{}", self.0)
+    }
+}
+
+/// A storage device with a stable identity and a capacity in blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Bin {
+    id: BinId,
+    capacity: u64,
+}
+
+impl Bin {
+    /// Creates a bin; `capacity` is the number of block copies it can hold.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlacementError::ZeroCapacity`] if `capacity == 0` — the
+    /// model has no use for bins that cannot store anything, and zero
+    /// capacities would poison the relative-weight computations.
+    pub fn new(id: impl Into<BinId>, capacity: u64) -> Result<Self, PlacementError> {
+        let id = id.into();
+        if capacity == 0 {
+            return Err(PlacementError::ZeroCapacity { id: id.raw() });
+        }
+        Ok(Self { id, capacity })
+    }
+
+    /// The bin's stable identifier.
+    #[must_use]
+    pub const fn id(&self) -> BinId {
+        self.id
+    }
+
+    /// The bin's capacity in block copies.
+    #[must_use]
+    pub const fn capacity(&self) -> u64 {
+        self.capacity
+    }
+}
+
+/// An immutable set of bins ordered by descending capacity.
+///
+/// All Redundant Share algorithms scan bins from largest to smallest
+/// (`b_i ≥ b_{i+1}` is a requirement of Algorithms 2 and 4), so the set
+/// maintains that order canonically; ties are broken by ascending
+/// identifier, making the order deterministic.
+///
+/// Membership changes produce a *new* [`BinSet`] (see [`BinSet::with_bin`],
+/// [`BinSet::without_bin`]), mirroring how a reconfiguration produces a new
+/// placement function whose distance from the old one the adaptivity
+/// experiments measure.
+///
+/// # Example
+///
+/// ```
+/// use rshare_core::{Bin, BinSet};
+///
+/// let set = BinSet::from_capacities([500, 1200, 700]).unwrap();
+/// assert_eq!(set.len(), 3);
+/// // Ordered by descending capacity:
+/// assert_eq!(set.bins()[0].capacity(), 1200);
+/// assert_eq!(set.total_capacity(), 2400);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BinSet {
+    bins: Vec<Bin>,
+}
+
+impl BinSet {
+    /// Builds a set from bins, validating uniqueness of identifiers.
+    ///
+    /// # Errors
+    ///
+    /// * [`PlacementError::EmptySystem`] if no bins are given.
+    /// * [`PlacementError::DuplicateBin`] if two bins share an identifier.
+    pub fn new(bins: impl IntoIterator<Item = Bin>) -> Result<Self, PlacementError> {
+        let mut bins: Vec<Bin> = bins.into_iter().collect();
+        if bins.is_empty() {
+            return Err(PlacementError::EmptySystem);
+        }
+        bins.sort_by(cmp_bins);
+        let mut ids: Vec<u64> = bins.iter().map(|b| b.id().raw()).collect();
+        ids.sort_unstable();
+        for w in ids.windows(2) {
+            if w[0] == w[1] {
+                return Err(PlacementError::DuplicateBin { id: w[0] });
+            }
+        }
+        Ok(Self { bins })
+    }
+
+    /// Builds a set with identifiers `0..n` from raw capacities.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the validation errors of [`Bin::new`] and [`BinSet::new`].
+    pub fn from_capacities(
+        capacities: impl IntoIterator<Item = u64>,
+    ) -> Result<Self, PlacementError> {
+        let bins = capacities
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| Bin::new(i as u64, c))
+            .collect::<Result<Vec<_>, _>>()?;
+        Self::new(bins)
+    }
+
+    /// Number of bins.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// `false`; a [`BinSet`] is never empty by construction. Provided for
+    /// API completeness.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bins.is_empty()
+    }
+
+    /// The bins in canonical (descending capacity) order.
+    #[must_use]
+    pub fn bins(&self) -> &[Bin] {
+        &self.bins
+    }
+
+    /// Sum of all capacities (`B` in the paper).
+    #[must_use]
+    pub fn total_capacity(&self) -> u64 {
+        self.bins.iter().map(Bin::capacity).sum()
+    }
+
+    /// Looks up a bin by identifier.
+    #[must_use]
+    pub fn get(&self, id: BinId) -> Option<&Bin> {
+        self.bins.iter().find(|b| b.id() == id)
+    }
+
+    /// Returns a new set with `bin` added.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlacementError::DuplicateBin`] if a bin with the same
+    /// identifier already exists.
+    pub fn with_bin(&self, bin: Bin) -> Result<Self, PlacementError> {
+        if self.get(bin.id()).is_some() {
+            return Err(PlacementError::DuplicateBin { id: bin.id().raw() });
+        }
+        let mut bins = self.bins.clone();
+        bins.push(bin);
+        bins.sort_by(cmp_bins);
+        Ok(Self { bins })
+    }
+
+    /// Returns a new set with the bin called `id` removed.
+    ///
+    /// # Errors
+    ///
+    /// * [`PlacementError::UnknownBin`] if no such bin exists.
+    /// * [`PlacementError::EmptySystem`] if it was the last bin.
+    pub fn without_bin(&self, id: BinId) -> Result<Self, PlacementError> {
+        if self.get(id).is_none() {
+            return Err(PlacementError::UnknownBin { id: id.raw() });
+        }
+        if self.bins.len() == 1 {
+            return Err(PlacementError::EmptySystem);
+        }
+        let bins = self.bins.iter().copied().filter(|b| b.id() != id).collect();
+        Ok(Self { bins })
+    }
+
+    /// Returns a new set with bin `id` resized to `capacity` — the
+    /// "change of their capacities" case of the paper's adaptivity
+    /// criterion (e.g. a device replaced by a larger model under the same
+    /// name).
+    ///
+    /// # Errors
+    ///
+    /// * [`PlacementError::UnknownBin`] if no such bin exists.
+    /// * [`PlacementError::ZeroCapacity`] if `capacity == 0`.
+    pub fn with_capacity(&self, id: BinId, capacity: u64) -> Result<Self, PlacementError> {
+        if self.get(id).is_none() {
+            return Err(PlacementError::UnknownBin { id: id.raw() });
+        }
+        let resized = Bin::new(id, capacity)?;
+        let mut bins: Vec<Bin> = self
+            .bins
+            .iter()
+            .map(|b| if b.id() == id { resized } else { *b })
+            .collect();
+        bins.sort_by(cmp_bins);
+        Ok(Self { bins })
+    }
+
+    /// Relative capacities `c_i = b_i / B` in canonical order.
+    #[must_use]
+    pub fn relative_capacities(&self) -> Vec<f64> {
+        let total = self.total_capacity() as f64;
+        self.bins
+            .iter()
+            .map(|b| b.capacity() as f64 / total)
+            .collect()
+    }
+}
+
+fn cmp_bins(a: &Bin, b: &Bin) -> std::cmp::Ordering {
+    b.capacity()
+        .cmp(&a.capacity())
+        .then_with(|| a.id().cmp(&b.id()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_capacity_desc_then_id_asc() {
+        let set = BinSet::new([
+            Bin::new(5u64, 100).unwrap(),
+            Bin::new(1u64, 300).unwrap(),
+            Bin::new(3u64, 100).unwrap(),
+        ])
+        .unwrap();
+        let ids: Vec<u64> = set.bins().iter().map(|b| b.id().raw()).collect();
+        assert_eq!(ids, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn rejects_empty_zero_and_duplicates() {
+        assert_eq!(BinSet::new([]), Err(PlacementError::EmptySystem));
+        assert_eq!(
+            Bin::new(7u64, 0),
+            Err(PlacementError::ZeroCapacity { id: 7 })
+        );
+        let dup = BinSet::new([Bin::new(1u64, 10).unwrap(), Bin::new(1u64, 20).unwrap()]);
+        assert_eq!(dup, Err(PlacementError::DuplicateBin { id: 1 }));
+    }
+
+    #[test]
+    fn with_and_without_bin() {
+        let set = BinSet::from_capacities([10, 20]).unwrap();
+        let grown = set.with_bin(Bin::new(9u64, 30).unwrap()).unwrap();
+        assert_eq!(grown.len(), 3);
+        assert_eq!(grown.bins()[0].id(), BinId(9));
+        assert_eq!(
+            grown.with_bin(Bin::new(9u64, 5).unwrap()),
+            Err(PlacementError::DuplicateBin { id: 9 })
+        );
+        let shrunk = grown.without_bin(BinId(9)).unwrap();
+        assert_eq!(shrunk, set);
+        assert_eq!(
+            shrunk.without_bin(BinId(9)),
+            Err(PlacementError::UnknownBin { id: 9 })
+        );
+    }
+
+    #[test]
+    fn removing_last_bin_is_an_error() {
+        let set = BinSet::from_capacities([10]).unwrap();
+        assert_eq!(set.without_bin(BinId(0)), Err(PlacementError::EmptySystem));
+    }
+
+    #[test]
+    fn with_capacity_resizes_and_reorders() {
+        let set = BinSet::from_capacities([10, 20, 30]).unwrap();
+        let resized = set.with_capacity(BinId(0), 50).unwrap();
+        assert_eq!(resized.bins()[0].id(), BinId(0));
+        assert_eq!(resized.bins()[0].capacity(), 50);
+        assert_eq!(resized.total_capacity(), 100);
+        assert_eq!(
+            set.with_capacity(BinId(9), 5),
+            Err(PlacementError::UnknownBin { id: 9 })
+        );
+        assert_eq!(
+            set.with_capacity(BinId(0), 0),
+            Err(PlacementError::ZeroCapacity { id: 0 })
+        );
+    }
+
+    #[test]
+    fn relative_capacities_sum_to_one() {
+        let set = BinSet::from_capacities([500, 300, 200]).unwrap();
+        let rel = set.relative_capacities();
+        assert!((rel.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((rel[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bin_id_display_and_conversions() {
+        let id: BinId = 42u64.into();
+        assert_eq!(id.to_string(), "bin#42");
+        assert_eq!(id.raw(), 42);
+    }
+
+    #[test]
+    fn get_by_id() {
+        let set = BinSet::from_capacities([500, 300]).unwrap();
+        assert_eq!(set.get(BinId(1)).unwrap().capacity(), 300);
+        assert!(set.get(BinId(17)).is_none());
+    }
+}

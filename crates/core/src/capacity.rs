@@ -1,0 +1,296 @@
+//! Capacity efficiency theory (Section 2.1 of the paper).
+//!
+//! * **Lemma 2.1** — a system of bins with capacities `b_0 ≥ … ≥ b_{n-1}`
+//!   admits a perfectly fair, capacity-efficient k-replication scheme iff
+//!   `k · b_0 ≤ B` where `B = Σ b_i`. ([`is_capacity_efficient`])
+//! * **Lemma 2.2 / Algorithm 1** — if the condition fails, the maximum
+//!   number of storable balls is `B_max = Σ b'_i / k` with *adjusted
+//!   capacities* `b'` obtained by recursively capping the largest bin at
+//!   `1/(k-1)` of the (recursively adjusted) rest. ([`optimal_weights`],
+//!   [`max_balls`])
+//! * The constructive proof of Lemma 2.1 — repeatedly placing one ball on
+//!   the `k` bins with the largest remaining capacity — is implemented in
+//!   [`greedy_pack`] and doubles as an optimality oracle in tests and in the
+//!   capacity-efficiency table experiment.
+
+/// Returns `true` iff the capacities admit a capacity-efficient
+/// k-replication scheme (Lemma 2.1: `k · max_i b_i ≤ Σ b_i`).
+///
+/// The slice does not need to be sorted.
+///
+/// # Example
+///
+/// ```
+/// use rshare_core::capacity::is_capacity_efficient;
+///
+/// // Figure 1's system: one bin with twice the capacity of the others.
+/// assert!(is_capacity_efficient(&[2, 1, 1], 2));
+/// // A dominant bin cannot be fully used with k = 2:
+/// assert!(!is_capacity_efficient(&[10, 1, 1], 2));
+/// ```
+#[must_use]
+pub fn is_capacity_efficient(capacities: &[u64], k: usize) -> bool {
+    if capacities.is_empty() || k == 0 {
+        return false;
+    }
+    let max = *capacities.iter().max().expect("non-empty");
+    let total: u64 = capacities.iter().sum();
+    (k as u64).saturating_mul(max) <= total
+}
+
+/// Computes the adjusted capacities `b'` of Lemma 2.2 via Algorithm 1.
+///
+/// Input capacities must be sorted in descending order (the canonical order
+/// of [`crate::BinSet`]). The returned vector satisfies, for every suffix
+/// considered by the recursion, the feasibility condition of Lemma 2.1, so
+/// a perfectly fair placement of `⌊Σ b'_i / k⌋` balls exists. Unadjusted
+/// bins keep their exact integer capacity; adjusted ones may become
+/// fractional.
+///
+/// Runs in `O(k · n)` like the paper's Algorithm 1 (each recursion level
+/// decrements `k` and drops the head bin).
+///
+/// # Panics
+///
+/// Panics if `capacities` is empty, unsorted, or `k == 0`; the public
+/// strategy constructors validate these conditions beforehand.
+///
+/// # Example
+///
+/// ```
+/// use rshare_core::capacity::optimal_weights;
+///
+/// // A bin that dominates the system gets capped to the sum of the rest
+/// // for k = 2 mirroring:
+/// let w = optimal_weights(&[10, 3, 2], 2);
+/// assert_eq!(w, vec![5.0, 3.0, 2.0]);
+/// ```
+#[must_use]
+pub fn optimal_weights(capacities: &[u64], k: usize) -> Vec<f64> {
+    assert!(!capacities.is_empty(), "no capacities given");
+    assert!(k >= 1, "replication degree must be at least 1");
+    assert!(
+        capacities.windows(2).all(|w| w[0] >= w[1]),
+        "capacities must be sorted in descending order"
+    );
+    let mut weights: Vec<f64> = capacities.iter().map(|&c| c as f64).collect();
+    adjust(&mut weights, k);
+    weights
+}
+
+/// The recursion of Algorithm 1: cap the head at `Σ tail / (k-1)` after
+/// adjusting the tail for `k-1` copies.
+fn adjust(weights: &mut [f64], k: usize) {
+    if k <= 1 || weights.len() <= 1 {
+        return;
+    }
+    let tail_sum: f64 = weights[1..].iter().sum();
+    if weights[0] * (k as f64 - 1.0) > tail_sum {
+        adjust(&mut weights[1..], k - 1);
+        let adjusted_tail: f64 = weights[1..].iter().sum();
+        weights[0] = adjusted_tail / (k as f64 - 1.0);
+    }
+}
+
+/// The maximum number of balls storable with k-replication (Lemma 2.2):
+/// `B_max = ⌊Σ b'_i / k⌋`.
+///
+/// Input must be sorted in descending order.
+///
+/// # Example
+///
+/// ```
+/// use rshare_core::capacity::max_balls;
+///
+/// // (2,1,1) with k = 2 stores exactly 2 balls (4 copies).
+/// assert_eq!(max_balls(&[2, 1, 1], 2), 2);
+/// // A dominant bin wastes capacity: b' = (3,2,1), ⌊6/2⌋ = 3.
+/// assert_eq!(max_balls(&[10, 2, 1], 2), 3);
+/// ```
+#[must_use]
+pub fn max_balls(capacities: &[u64], k: usize) -> u64 {
+    let weights = optimal_weights(capacities, k);
+    let total: f64 = weights.iter().sum();
+    // Guard against float drift just below an integer boundary.
+    ((total / k as f64) + 1e-9).floor() as u64
+}
+
+/// The per-ball copy assignment produced by [`greedy_pack`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packing {
+    /// `assignments[ball][copy]` is the index (into the input capacity
+    /// slice) of the bin holding that copy.
+    pub assignments: Vec<Vec<usize>>,
+    /// Copies placed per bin.
+    pub load: Vec<u64>,
+}
+
+/// The constructive packing from the proof of Lemma 2.1: for each of `m`
+/// balls, place one copy on each of the `k` bins with the largest remaining
+/// capacity.
+///
+/// Returns `None` if the packing gets stuck before `m` balls are placed,
+/// which by Lemma 2.1 cannot happen while `m ≤ max_balls(capacities, k)`;
+/// tests exercise exactly that boundary.
+///
+/// # Example
+///
+/// ```
+/// use rshare_core::capacity::greedy_pack;
+///
+/// let packing = greedy_pack(&[2, 1, 1], 2, 2).unwrap();
+/// assert_eq!(packing.load, vec![2, 1, 1]);
+/// ```
+#[must_use]
+pub fn greedy_pack(capacities: &[u64], k: usize, m: u64) -> Option<Packing> {
+    if k == 0 || capacities.len() < k {
+        return None;
+    }
+    let mut remaining: Vec<u64> = capacities.to_vec();
+    let mut load = vec![0u64; capacities.len()];
+    let mut assignments = Vec::with_capacity(usize::try_from(m).unwrap_or(usize::MAX));
+    for _ in 0..m {
+        // Indices of the k bins with the largest remaining capacity
+        // (ties broken by index for determinism).
+        let mut order: Vec<usize> = (0..remaining.len()).collect();
+        order.sort_by(|&a, &b| remaining[b].cmp(&remaining[a]).then(a.cmp(&b)));
+        let chosen: Vec<usize> = order.into_iter().take(k).collect();
+        if chosen.iter().any(|&i| remaining[i] == 0) {
+            return None;
+        }
+        for &i in &chosen {
+            remaining[i] -= 1;
+            load[i] += 1;
+        }
+        assignments.push(chosen);
+    }
+    Some(Packing { assignments, load })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lemma_2_1_condition() {
+        assert!(is_capacity_efficient(&[1, 1], 2));
+        assert!(is_capacity_efficient(&[2, 1, 1], 2));
+        assert!(!is_capacity_efficient(&[3, 1, 1], 2));
+        assert!(is_capacity_efficient(&[5, 5, 5], 3));
+        assert!(!is_capacity_efficient(&[6, 5, 4], 3));
+        assert!(!is_capacity_efficient(&[], 2));
+        assert!(!is_capacity_efficient(&[1, 1], 0));
+        // k = 1 never wastes capacity.
+        assert!(is_capacity_efficient(&[100, 1], 1));
+    }
+
+    #[test]
+    fn weights_unchanged_when_feasible() {
+        let w = optimal_weights(&[2, 1, 1], 2);
+        assert_eq!(w, vec![2.0, 1.0, 1.0]);
+        let w = optimal_weights(&[500, 400, 300, 200], 2);
+        assert_eq!(w, vec![500.0, 400.0, 300.0, 200.0]);
+        // 3·500 > 1400, so k = 3 caps the head at (400+300+200)/2 = 450.
+        let w = optimal_weights(&[500, 400, 300, 200], 3);
+        assert_eq!(w, vec![450.0, 400.0, 300.0, 200.0]);
+    }
+
+    #[test]
+    fn head_capped_for_mirroring() {
+        // 10 > 3 + 2, so the head is capped at the tail sum.
+        assert_eq!(optimal_weights(&[10, 3, 2], 2), vec![5.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn recursive_cap_cascades() {
+        // (100, 100, 10, 1), k = 3: head condition 2·100 > 111 triggers;
+        // tail (100, 10, 1) adjusted for k = 2 caps 100 to 11; then the
+        // head caps to (11 + 10 + 1) / 2 = 11.
+        let w = optimal_weights(&[100, 100, 10, 1], 3);
+        assert_eq!(w, vec![11.0, 11.0, 10.0, 1.0]);
+        // The adjusted system satisfies Lemma 2.1 for k = 3.
+        let total: f64 = w.iter().sum();
+        assert!(3.0 * w[0] <= total + 1e-9);
+    }
+
+    #[test]
+    fn adjusted_weights_stay_sorted_and_bounded() {
+        let cases: [(&[u64], usize); 5] = [
+            (&[1_000, 1, 1, 1], 2),
+            (&[50, 49, 48, 1], 3),
+            (&[9, 9, 9], 3),
+            (&[7, 1], 2),
+            (&[12, 6, 3, 2, 1], 4),
+        ];
+        for (caps, k) in cases {
+            let w = optimal_weights(caps, k);
+            for (i, (&orig, &adj)) in caps.iter().zip(&w).enumerate() {
+                assert!(adj <= orig as f64 + 1e-9, "bin {i} grew: {adj} > {orig}");
+                assert!(adj > 0.0);
+            }
+            for pair in w.windows(2) {
+                assert!(pair[0] >= pair[1] - 1e-9, "unsorted after adjust: {w:?}");
+            }
+            let total: f64 = w.iter().sum();
+            assert!(
+                k as f64 * w[0] <= total + 1e-6,
+                "Lemma 2.1 violated after adjustment: {w:?} k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn max_balls_examples() {
+        assert_eq!(max_balls(&[2, 1, 1], 2), 2);
+        assert_eq!(max_balls(&[10, 2, 1], 2), 3);
+        assert_eq!(max_balls(&[1, 1, 1], 3), 1);
+        // n = k with unequal bins: all capped to the minimum.
+        assert_eq!(max_balls(&[5, 3], 2), 3);
+        assert_eq!(max_balls(&[9, 7, 2], 3), 2);
+    }
+
+    #[test]
+    fn greedy_pack_reaches_max_balls() {
+        let cases: [(&[u64], usize); 6] = [
+            (&[2, 1, 1], 2),
+            (&[10, 2, 1], 2),
+            (&[100, 100, 10, 1], 3),
+            (&[5, 4, 3, 2, 1], 2),
+            (&[7, 7, 7, 7], 4),
+            (&[13, 11, 5, 3, 2], 3),
+        ];
+        for (caps, k) in cases {
+            let m = max_balls(caps, k);
+            let packing = greedy_pack(caps, k, m)
+                .unwrap_or_else(|| panic!("greedy pack failed for {caps:?} k={k} m={m}"));
+            // Validity: every ball on k distinct bins, loads within capacity.
+            for a in &packing.assignments {
+                let mut sorted = a.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                assert_eq!(sorted.len(), k, "duplicate bin in redundancy group");
+            }
+            for (i, (&l, &c)) in packing.load.iter().zip(caps).enumerate() {
+                assert!(l <= c, "bin {i} overfull: {l} > {c}");
+            }
+            let placed: u64 = packing.load.iter().sum();
+            assert_eq!(placed, m * k as u64);
+        }
+    }
+
+    #[test]
+    fn greedy_pack_cannot_exceed_max_balls() {
+        let caps: &[u64] = &[10, 2, 1];
+        let k = 2;
+        let m = max_balls(caps, k);
+        assert!(greedy_pack(caps, k, m + 1).is_none());
+    }
+
+    #[test]
+    fn greedy_pack_degenerate() {
+        assert!(greedy_pack(&[1, 1], 3, 1).is_none());
+        assert!(greedy_pack(&[1, 1], 0, 1).is_none());
+        let p = greedy_pack(&[4, 4], 2, 0).unwrap();
+        assert!(p.assignments.is_empty());
+    }
+}

@@ -1,0 +1,75 @@
+//! Error types for placement construction and queries.
+
+/// Errors arising when building bin sets or placement strategies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PlacementError {
+    /// The bin set contains no bins.
+    EmptySystem,
+    /// A bin was declared with zero capacity.
+    ZeroCapacity {
+        /// The offending bin's stable identifier.
+        id: u64,
+    },
+    /// Two bins share the same stable identifier.
+    DuplicateBin {
+        /// The duplicated identifier.
+        id: u64,
+    },
+    /// The requested bin does not exist.
+    UnknownBin {
+        /// The identifier that was looked up.
+        id: u64,
+    },
+    /// The replication degree is zero.
+    ZeroReplication,
+    /// More copies were requested than there are bins to hold them
+    /// (`k > n` makes the redundancy property unsatisfiable).
+    TooFewBins {
+        /// Requested replication degree.
+        k: usize,
+        /// Available number of bins.
+        n: usize,
+    },
+}
+
+impl std::fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::EmptySystem => write!(f, "the storage system contains no bins"),
+            Self::ZeroCapacity { id } => write!(f, "bin {id} has zero capacity"),
+            Self::DuplicateBin { id } => write!(f, "bin identifier {id} occurs twice"),
+            Self::UnknownBin { id } => write!(f, "no bin with identifier {id}"),
+            Self::ZeroReplication => write!(f, "replication degree k must be at least 1"),
+            Self::TooFewBins { k, n } => write!(
+                f,
+                "cannot place {k} copies on distinct bins: only {n} bins available"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlacementError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(PlacementError::EmptySystem.to_string().contains("no bins"));
+        assert!(PlacementError::ZeroCapacity { id: 4 }
+            .to_string()
+            .contains("bin 4"));
+        assert!(PlacementError::DuplicateBin { id: 9 }
+            .to_string()
+            .contains('9'));
+        assert!(PlacementError::UnknownBin { id: 2 }
+            .to_string()
+            .contains('2'));
+        assert!(PlacementError::TooFewBins { k: 3, n: 2 }
+            .to_string()
+            .contains("3 copies"));
+        assert!(PlacementError::ZeroReplication.to_string().contains("k"));
+    }
+}

@@ -1,0 +1,326 @@
+//! k-fold replication in O(k) time (Section 3.3 of the paper).
+//!
+//! The linear scan of [`crate::RedundantShare`] is a Markov chain over
+//! `(position, copies remaining)`: after a copy is placed at bin `l` with
+//! `r` copies remaining, the distribution of the *next* placed copy depends
+//! only on `(l, r)`. Section 3.3 exploits this by precomputing, for the
+//! first copy one weighted-selection structure, and for every following copy
+//! one structure per possible predecessor bin — "O(n) hash functions, one
+//! for each disk that could be chosen as primary in the previous step". A
+//! query then walks `k` constant-time lookups.
+//!
+//! We realise each structure as an [`AliasTable`]. Construction costs
+//! `O(k · n²)` time and memory (the paper counts this as `O(k · n · s)`
+//! with `s` the per-hash-function memory); queries cost `O(k)`.
+//!
+//! The sampled joint distribution is identical to the scan's, so fairness
+//! and redundancy carry over exactly; the random bits differ, so the two
+//! variants produce different (but equally distributed) mappings. Unlike
+//! the scan variant, the precomputed tables are rebuilt wholesale on a
+//! membership change, so this variant trades the paper's adaptivity
+//! guarantees for query speed — the adaptivity benches quantify the gap.
+
+use rshare_hash::{stable_hash3, AliasTable};
+
+use crate::analysis::ScanModel;
+use crate::bins::{BinId, BinSet};
+use crate::capacity::optimal_weights;
+use crate::error::PlacementError;
+use crate::strategy::PlacementStrategy;
+
+const FAST_DOMAIN: u64 = 0x4653_4841_5245_0000; // "FSHARE"
+
+/// Per-predecessor transition structure for one copy level.
+#[derive(Debug, Clone)]
+enum Transition {
+    /// Reachable state: alias table over the bins after the predecessor
+    /// (outcome `t` means absolute index `prev + 1 + t`).
+    Table(AliasTable),
+    /// The calibrated head weight diverged: the head takes everything.
+    AlwaysHead,
+    /// State unreachable (not enough bins left for the remaining copies).
+    Unreachable,
+}
+
+/// Redundant Share with precomputed O(k)-time queries.
+///
+/// # Example
+///
+/// ```
+/// use rshare_core::{BinSet, FastRedundantShare, PlacementStrategy};
+///
+/// let bins = BinSet::from_capacities([500, 400, 300, 200, 100]).unwrap();
+/// let strat = FastRedundantShare::new(&bins, 3).unwrap();
+/// let copies = strat.place(99);
+/// assert_eq!(copies.len(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FastRedundantShare {
+    ids: Vec<BinId>,
+    k: usize,
+    fair: Vec<f64>,
+    /// Distribution of the first copy.
+    first: Transition,
+    /// `scan_levels[k - r]` for r = k-1 … 2: transitions of the scan-placed
+    /// middle copies, indexed by predecessor.
+    scan_levels: Vec<Vec<Transition>>,
+    /// Last-copy (`placeOneCopy`) distributions, indexed by predecessor.
+    last: Vec<Transition>,
+}
+
+impl FastRedundantShare {
+    /// Builds the precomputed strategy.
+    ///
+    /// # Errors
+    ///
+    /// * [`PlacementError::ZeroReplication`] if `k == 0`.
+    /// * [`PlacementError::TooFewBins`] if `k` exceeds the number of bins.
+    pub fn new(bins: &BinSet, k: usize) -> Result<Self, PlacementError> {
+        if k == 0 {
+            return Err(PlacementError::ZeroReplication);
+        }
+        let n = bins.len();
+        if k > n {
+            return Err(PlacementError::TooFewBins { k, n });
+        }
+        let capacities: Vec<u64> = bins.bins().iter().map(|b| b.capacity()).collect();
+        let weights = optimal_weights(&capacities, k);
+        let model = ScanModel::new(weights, k);
+        let total = model.suffix[0];
+        let fair = model.weights.iter().map(|w| k as f64 * w / total).collect();
+
+        // First copy: either the level-k scan start (k >= 2) or a direct
+        // placeOneCopy over everything (k == 1).
+        let first = if k >= 2 {
+            scan_transition(&model, k, 0)
+        } else {
+            last_transition(&model, 0)
+        };
+        // Middle copies placed by the scan: levels r = k-1 … 2, one
+        // transition table per predecessor bin.
+        let mut scan_levels = Vec::new();
+        for r in (2..k).rev() {
+            let tables: Vec<Transition> = (0..n)
+                .map(|prev| scan_transition(&model, r, prev + 1))
+                .collect();
+            scan_levels.push(tables);
+        }
+        // Last copy: placeOneCopy suffix per predecessor.
+        let last: Vec<Transition> = if k >= 2 {
+            (0..n)
+                .map(|prev| last_transition(&model, prev + 1))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        Ok(Self {
+            ids: bins.bins().iter().map(|b| b.id()).collect(),
+            k,
+            fair,
+            first,
+            scan_levels,
+            last,
+        })
+    }
+
+    /// Approximate memory footprint of the precomputed tables in bytes —
+    /// the `O(k · n · s)` cost Section 3.3 pays for O(k) queries.
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        fn t(trans: &Transition) -> usize {
+            match trans {
+                Transition::Table(a) => a.memory_bytes(),
+                _ => 0,
+            }
+        }
+        t(&self.first)
+            + self
+                .scan_levels
+                .iter()
+                .map(|lvl| lvl.iter().map(t).sum::<usize>())
+                .sum::<usize>()
+            + self.last.iter().map(t).sum::<usize>()
+            + self.ids.len() * std::mem::size_of::<BinId>()
+            + self.fair.len() * std::mem::size_of::<f64>()
+    }
+
+    fn resolve(&self, trans: &Transition, base: usize, key: u64) -> usize {
+        match trans {
+            Transition::Table(t) => base + t.sample_hash(key),
+            Transition::AlwaysHead => base,
+            Transition::Unreachable => {
+                unreachable!("sampled into an unreachable placement state")
+            }
+        }
+    }
+}
+
+/// Distribution of the next scan take at level `r` starting from `start`:
+/// `P[take at j] = θ(j, r) · Π_{start ≤ o < j} (1 - θ(o, r))`.
+fn scan_transition(model: &ScanModel, r: usize, start: usize) -> Transition {
+    let n = model.weights.len();
+    if n < start + r {
+        return Transition::Unreachable;
+    }
+    let mut probs = vec![0.0; n - start];
+    let mut reach = 1.0;
+    for j in start..n {
+        let force = n - j == r; // floating-point guard, as in the scan
+        let theta = if force { 1.0 } else { model.theta(j, r) };
+        probs[j - start] = reach * theta;
+        reach *= 1.0 - theta;
+        if reach <= 0.0 {
+            break;
+        }
+    }
+    Transition::Table(AliasTable::new(&probs).expect("valid scan distribution"))
+}
+
+/// Distribution of the last copy over the suffix starting at `start`, with
+/// the calibrated head weight.
+fn last_transition(model: &ScanModel, start: usize) -> Transition {
+    let n = model.weights.len();
+    if start >= n {
+        return Transition::Unreachable;
+    }
+    let boost = model.head_boost[start];
+    if !boost.is_finite() {
+        return Transition::AlwaysHead;
+    }
+    let mut w: Vec<f64> = model.weights[start..].to_vec();
+    w[0] = boost;
+    Transition::Table(AliasTable::new(&w).expect("valid suffix weights"))
+}
+
+impl PlacementStrategy for FastRedundantShare {
+    fn replication(&self) -> usize {
+        self.k
+    }
+
+    fn bin_ids(&self) -> &[BinId] {
+        &self.ids
+    }
+
+    fn place_into(&self, ball: u64, out: &mut Vec<BinId>) {
+        out.clear();
+        let key0 = stable_hash3(ball, 0, FAST_DOMAIN);
+        let mut prev = self.resolve(&self.first, 0, key0);
+        out.push(self.ids[prev]);
+        if self.k == 1 {
+            return;
+        }
+        for (level, tables) in self.scan_levels.iter().enumerate() {
+            let key = stable_hash3(ball, level as u64 + 1, FAST_DOMAIN);
+            prev = self.resolve(&tables[prev], prev + 1, key);
+            out.push(self.ids[prev]);
+        }
+        let key = stable_hash3(ball, self.k as u64 - 1, FAST_DOMAIN);
+        let idx = self.resolve(&self.last[prev], prev + 1, key);
+        out.push(self.ids[idx]);
+    }
+
+    fn fair_shares(&self) -> Vec<f64> {
+        self.fair.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::redundant_share::RedundantShare;
+
+    fn bins(caps: &[u64]) -> BinSet {
+        BinSet::from_capacities(caps.iter().copied()).unwrap()
+    }
+
+    fn empirical(strat: &dyn PlacementStrategy, balls: u64) -> Vec<f64> {
+        let mut counts = vec![0u64; strat.bin_ids().len()];
+        let mut out = Vec::new();
+        for ball in 0..balls {
+            strat.place_into(ball, &mut out);
+            for id in &out {
+                let pos = strat.bin_ids().iter().position(|b| b == id).unwrap();
+                counts[pos] += 1;
+            }
+        }
+        counts.iter().map(|&c| c as f64 / balls as f64).collect()
+    }
+
+    #[test]
+    fn distinct_and_sized() {
+        let set = bins(&[500, 400, 300, 200, 100]);
+        for k in 1..=5 {
+            let strat = FastRedundantShare::new(&set, k).unwrap();
+            for ball in 0..2_000u64 {
+                let placed = strat.place(ball);
+                assert_eq!(placed.len(), k);
+                let mut uniq = placed.clone();
+                uniq.sort();
+                uniq.dedup();
+                assert_eq!(uniq.len(), k, "ball {ball} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn fairness_matches_scan_variant() {
+        let set = bins(&[800, 700, 600, 500, 400, 300, 200, 100]);
+        for k in [2usize, 4] {
+            let fast = FastRedundantShare::new(&set, k).unwrap();
+            let scan = RedundantShare::new(&set, k).unwrap();
+            let balls = 150_000u64;
+            let fast_shares = empirical(&fast, balls);
+            let scan_shares = empirical(&scan, balls);
+            let want = fast.fair_shares();
+            for i in 0..set.len() {
+                assert!(
+                    (fast_shares[i] - want[i]).abs() / want[i] < 0.03,
+                    "k={k} bin {i}: fast {:.4} want {:.4}",
+                    fast_shares[i],
+                    want[i]
+                );
+                assert!(
+                    (fast_shares[i] - scan_shares[i]).abs() / want[i] < 0.04,
+                    "k={k} bin {i}: fast {:.4} scan {:.4}",
+                    fast_shares[i],
+                    scan_shares[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn saturated_configuration() {
+        // (4, 4, 4, 1): the b̂ correction must flow into the last-copy
+        // tables too.
+        let set = bins(&[400, 400, 400, 100]);
+        let strat = FastRedundantShare::new(&set, 2).unwrap();
+        let want = strat.fair_shares();
+        let got = empirical(&strat, 300_000);
+        for i in 0..4 {
+            assert!(
+                (got[i] - want[i]).abs() / want[i] < 0.03,
+                "bin {i}: got {:.4} want {:.4}",
+                got[i],
+                want[i]
+            );
+        }
+    }
+
+    #[test]
+    fn k1_matches_weights() {
+        let set = bins(&[300, 200, 100]);
+        let strat = FastRedundantShare::new(&set, 1).unwrap();
+        let got = empirical(&strat, 120_000);
+        for (g, w) in got.iter().zip(strat.fair_shares()) {
+            assert!((g - w).abs() / w < 0.03, "got {g} want {w}");
+        }
+    }
+
+    #[test]
+    fn errors() {
+        let set = bins(&[10, 10]);
+        assert!(FastRedundantShare::new(&set, 0).is_err());
+        assert!(FastRedundantShare::new(&set, 3).is_err());
+    }
+}

@@ -1,0 +1,187 @@
+//! LinMirror: 2-fold mirroring in linear time (Algorithms 2 and 3).
+//!
+//! LinMirror is the k = 2 member of the Redundant Share family and the one
+//! the paper analyses most precisely: it is *perfectly fair* (Lemma 3.1) and
+//! 4-competitive for bin insertion and deletion (Lemma 3.2, Corollary 3.3),
+//! with measured competitive factors of about 1.5 when the biggest bin
+//! changes and about 2.5 when the smallest bin changes (Figure 3).
+//!
+//! The implementation shares its engine with [`crate::RedundantShare`]; the
+//! `b̂` head-weight correction of Algorithm 3 is obtained from the general
+//! calibration, which for k = 2 reproduces the paper's closed-form
+//! Equations 2–5 exactly (asserted in debug builds and by unit tests of
+//! [`crate::analysis`]).
+
+use rshare_hash::{Rendezvous, SingleCopySelector};
+
+use crate::bins::{BinId, BinSet};
+use crate::error::PlacementError;
+use crate::redundant_share::RedundantShare;
+use crate::strategy::PlacementStrategy;
+
+/// Two-fold mirroring over heterogeneous bins (`LinMirror`).
+///
+/// # Example
+///
+/// ```
+/// use rshare_core::{BinSet, LinMirror, PlacementStrategy};
+///
+/// let bins = BinSet::from_capacities([1200, 1100, 1000, 900]).unwrap();
+/// let mirror = LinMirror::new(&bins).unwrap();
+/// let (primary, secondary) = mirror.place_pair(42);
+/// assert_ne!(primary, secondary);
+/// // The trait view returns the same pair in copy order.
+/// assert_eq!(mirror.place(42), vec![primary, secondary]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LinMirror<S = Rendezvous> {
+    inner: RedundantShare<S>,
+}
+
+impl LinMirror<Rendezvous> {
+    /// Builds a mirror placement over `bins` with the default selector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlacementError::TooFewBins`] if fewer than two bins are
+    /// given (mirroring needs two distinct locations).
+    pub fn new(bins: &BinSet) -> Result<Self, PlacementError> {
+        Self::with_selector(bins, Rendezvous::new())
+    }
+}
+
+impl<S: SingleCopySelector> LinMirror<S> {
+    /// Builds a mirror placement with a custom `placeOneCopy` selector for
+    /// the secondary copy.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`LinMirror::new`].
+    pub fn with_selector(bins: &BinSet, selector: S) -> Result<Self, PlacementError> {
+        let inner = RedundantShare::with_selector(bins, 2, selector)?;
+        #[cfg(debug_assertions)]
+        {
+            // The general calibration must agree with the paper's
+            // closed-form b̂ wherever the closed form applies.
+            if let Some((q, boost)) =
+                crate::analysis::closed_form_boost_k2(inner.adjusted_weights())
+            {
+                let calibrated = inner.head_boost_for_test(q);
+                let both_infinite = !boost.is_finite() && !calibrated.is_finite();
+                debug_assert!(
+                    both_infinite || (boost - calibrated).abs() <= 1e-6 * boost.max(1.0),
+                    "calibration {calibrated} deviates from closed-form b̂ {boost} at q={q}"
+                );
+            }
+        }
+        Ok(Self { inner })
+    }
+
+    /// Places `ball`, returning `(primary, secondary)`.
+    #[must_use]
+    pub fn place_pair(&self, ball: u64) -> (BinId, BinId) {
+        let mut out = Vec::with_capacity(2);
+        self.inner.place_into(ball, &mut out);
+        (out[0], out[1])
+    }
+
+    /// The adjusted (Lemma 2.2) capacities, in canonical order.
+    #[must_use]
+    pub fn adjusted_weights(&self) -> &[f64] {
+        self.inner.adjusted_weights()
+    }
+}
+
+impl<S: SingleCopySelector> PlacementStrategy for LinMirror<S> {
+    fn replication(&self) -> usize {
+        2
+    }
+
+    fn bin_ids(&self) -> &[BinId] {
+        self.inner.bin_ids()
+    }
+
+    fn place_into(&self, ball: u64, out: &mut Vec<BinId>) {
+        self.inner.place_into(ball, out);
+    }
+
+    fn fair_shares(&self) -> Vec<f64> {
+        self.inner.fair_shares()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn needs_two_bins() {
+        let one = BinSet::from_capacities([10]).unwrap();
+        assert!(matches!(
+            LinMirror::new(&one),
+            Err(PlacementError::TooFewBins { k: 2, n: 1 })
+        ));
+    }
+
+    #[test]
+    fn figure_1_example_is_perfectly_packed() {
+        // The Figure 1 system: bins (2, 1, 1). A fair mirror must place a
+        // copy of EVERY ball on the big bin (its share is 2·(2/4) = 1).
+        let bins = BinSet::from_capacities([2_000, 1_000, 1_000]).unwrap();
+        let mirror = LinMirror::new(&bins).unwrap();
+        let big = mirror.bin_ids()[0];
+        let balls = 50_000u64;
+        let mut on_big = 0u64;
+        let mut small = [0u64; 2];
+        for ball in 0..balls {
+            let (p, s) = mirror.place_pair(ball);
+            if p == big || s == big {
+                on_big += 1;
+            }
+            for (slot, id) in small.iter_mut().zip(&mirror.bin_ids()[1..]) {
+                if p == *id || s == *id {
+                    *slot += 1;
+                }
+            }
+        }
+        assert_eq!(on_big, balls, "the dominant bin must be hit every time");
+        for c in small {
+            let share = c as f64 / balls as f64;
+            assert!((share - 0.5).abs() < 0.02, "small-bin share {share}");
+        }
+    }
+
+    #[test]
+    fn pair_matches_trait_view() {
+        let bins = BinSet::from_capacities([50, 40, 30, 20]).unwrap();
+        let mirror = LinMirror::new(&bins).unwrap();
+        for ball in 0..300u64 {
+            let (p, s) = mirror.place_pair(ball);
+            assert_eq!(mirror.place(ball), vec![p, s]);
+            assert_ne!(p, s);
+        }
+    }
+
+    #[test]
+    fn perfect_fairness_statistical() {
+        let bins = BinSet::from_capacities([500_000, 600_000, 700_000, 800_000, 900_000]).unwrap();
+        let mirror = LinMirror::new(&bins).unwrap();
+        let want = mirror.fair_shares();
+        let balls = 200_000u64;
+        let mut counts = [0u64; 5];
+        for ball in 0..balls {
+            let (p, s) = mirror.place_pair(ball);
+            for id in [p, s] {
+                let pos = mirror.bin_ids().iter().position(|b| *b == id).unwrap();
+                counts[pos] += 1;
+            }
+        }
+        for (i, (&c, w)) in counts.iter().zip(&want).enumerate() {
+            let got = c as f64 / balls as f64;
+            assert!(
+                (got - w).abs() / w < 0.02,
+                "bin {i}: got {got:.4} want {w:.4}"
+            );
+        }
+    }
+}

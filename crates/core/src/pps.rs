@@ -1,0 +1,179 @@
+//! Systematic probability-proportional-to-size sampling as a fairness oracle.
+//!
+//! Not part of the paper: this is an auxiliary strategy with *provably
+//! exact* inclusion probabilities, used to cross-validate the Redundant
+//! Share implementation and as an ablation point in the benchmarks.
+//!
+//! The bins are laid out as consecutive intervals of length `b'_i` (adjusted
+//! capacities) on a segment of total length `W`. For each ball a single
+//! uniform offset `u ∈ [0, W/k)` is drawn and the `k` points
+//! `u, u + W/k, …, u + (k-1)·W/k` select the bins containing them. Because
+//! the Lemma 2.2 adjustment guarantees `b'_i ≤ W/k`, no bin can contain two
+//! points, so redundancy holds; and every bin's inclusion probability is
+//! exactly `k · b'_i / W` — perfect fairness by construction.
+//!
+//! The price is adaptivity: a membership change shifts the interval layout
+//! of *every* bin after the insertion point, moving far more copies than
+//! Redundant Share does. The adaptivity benches quantify exactly that
+//! trade-off, which motivates the paper's more involved construction.
+
+use rshare_hash::{stable_hash2, unit_f64};
+
+use crate::bins::{BinId, BinSet};
+use crate::capacity::optimal_weights;
+use crate::error::PlacementError;
+use crate::strategy::PlacementStrategy;
+
+const PPS_DOMAIN: u64 = 0x5050_5331; // "PPS1"
+
+/// Systematic PPS sampling placement: exactly fair, poorly adaptive.
+///
+/// # Example
+///
+/// ```
+/// use rshare_core::{BinSet, PlacementStrategy, SystematicPps};
+///
+/// let bins = BinSet::from_capacities([300, 200, 100]).unwrap();
+/// let pps = SystematicPps::new(&bins, 2).unwrap();
+/// let copies = pps.place(123);
+/// assert_eq!(copies.len(), 2);
+/// assert_ne!(copies[0], copies[1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SystematicPps {
+    ids: Vec<BinId>,
+    /// Cumulative adjusted weights; `cum[i]` is the end of bin i's interval.
+    cum: Vec<f64>,
+    k: usize,
+    stride: f64,
+}
+
+impl SystematicPps {
+    /// Builds the oracle strategy for `k` copies over `bins`.
+    ///
+    /// # Errors
+    ///
+    /// * [`PlacementError::ZeroReplication`] if `k == 0`.
+    /// * [`PlacementError::TooFewBins`] if `k` exceeds the number of bins.
+    pub fn new(bins: &BinSet, k: usize) -> Result<Self, PlacementError> {
+        if k == 0 {
+            return Err(PlacementError::ZeroReplication);
+        }
+        if k > bins.len() {
+            return Err(PlacementError::TooFewBins { k, n: bins.len() });
+        }
+        let capacities: Vec<u64> = bins.bins().iter().map(|b| b.capacity()).collect();
+        let weights = optimal_weights(&capacities, k);
+        let mut cum = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for w in &weights {
+            acc += w;
+            cum.push(acc);
+        }
+        let stride = acc / k as f64;
+        Ok(Self {
+            ids: bins.bins().iter().map(|b| b.id()).collect(),
+            cum,
+            k,
+            stride,
+        })
+    }
+}
+
+impl PlacementStrategy for SystematicPps {
+    fn replication(&self) -> usize {
+        self.k
+    }
+
+    fn bin_ids(&self) -> &[BinId] {
+        &self.ids
+    }
+
+    fn place_into(&self, ball: u64, out: &mut Vec<BinId>) {
+        out.clear();
+        let offset = unit_f64(stable_hash2(ball, PPS_DOMAIN)) * self.stride;
+        let mut prev = usize::MAX;
+        for j in 0..self.k {
+            let point = offset + j as f64 * self.stride;
+            let mut idx = self.cum.partition_point(|&c| c <= point);
+            if idx >= self.cum.len() {
+                idx = self.cum.len() - 1;
+            }
+            // Floating-point defence: a bin whose width equals the stride
+            // exactly could collect two points after rounding; step past it.
+            if idx == prev {
+                idx += 1;
+            }
+            prev = idx;
+            out.push(self.ids[idx]);
+        }
+    }
+
+    fn fair_shares(&self) -> Vec<f64> {
+        let total = *self.cum.last().expect("non-empty");
+        let mut shares = Vec::with_capacity(self.cum.len());
+        let mut prev = 0.0;
+        for &c in &self.cum {
+            shares.push(self.k as f64 * (c - prev) / total);
+            prev = c;
+        }
+        shares
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_fairness() {
+        let bins = BinSet::from_capacities([500, 400, 300, 200, 100]).unwrap();
+        let pps = SystematicPps::new(&bins, 2).unwrap();
+        let want = pps.fair_shares();
+        let balls = 200_000u64;
+        let mut counts = [0u64; 5];
+        for ball in 0..balls {
+            for id in pps.place(ball) {
+                let pos = pps.bin_ids().iter().position(|b| *b == id).unwrap();
+                counts[pos] += 1;
+            }
+        }
+        for (i, (&c, w)) in counts.iter().zip(&want).enumerate() {
+            let got = c as f64 / balls as f64;
+            assert!(
+                (got - w).abs() / w < 0.02,
+                "bin {i}: got {got:.4} want {w:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn distinct_copies_even_at_k_equals_n() {
+        let bins = BinSet::from_capacities([10, 10, 10]).unwrap();
+        let pps = SystematicPps::new(&bins, 3).unwrap();
+        for ball in 0..2_000u64 {
+            let placed = pps.place(ball);
+            let mut uniq = placed.clone();
+            uniq.sort();
+            uniq.dedup();
+            assert_eq!(uniq.len(), 3, "ball {ball}: {placed:?}");
+        }
+    }
+
+    #[test]
+    fn dominant_bin_on_every_ball() {
+        let bins = BinSet::from_capacities([1_000, 100, 100]).unwrap();
+        let pps = SystematicPps::new(&bins, 2).unwrap();
+        let big = pps.bin_ids()[0];
+        for ball in 0..5_000u64 {
+            assert!(pps.place(ball).contains(&big));
+        }
+    }
+
+    #[test]
+    fn errors() {
+        let bins = BinSet::from_capacities([10, 10]).unwrap();
+        assert!(SystematicPps::new(&bins, 0).is_err());
+        assert!(SystematicPps::new(&bins, 3).is_err());
+    }
+}

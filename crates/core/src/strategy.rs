@@ -1,0 +1,78 @@
+//! The common interface of k-replica placement strategies.
+
+use crate::bins::BinId;
+
+/// A strategy that maps every ball to `k` pairwise-distinct bins.
+///
+/// Implementations must be **deterministic** (the same ball always maps to
+/// the same bins — placements are recomputed, never stored) and must
+/// **identify the i-th copy**: `place` returns copies in a stable order, so
+/// position `i` of the result is "copy `i`" of the redundancy group. The
+/// paper stresses this property because erasure codes assign different
+/// meanings to different sub-blocks.
+///
+/// # Object safety
+///
+/// The trait is object safe; heterogeneous collections of strategies (as
+/// used by the experiment harness) can store `Box<dyn PlacementStrategy>`.
+pub trait PlacementStrategy {
+    /// The replication degree `k` (number of copies per ball).
+    fn replication(&self) -> usize;
+
+    /// The bins known to the strategy, in its canonical (descending
+    /// capacity) order.
+    fn bin_ids(&self) -> &[BinId];
+
+    /// Places `ball`, appending exactly `k` distinct bin ids to `out` in
+    /// copy order. `out` is cleared first.
+    fn place_into(&self, ball: u64, out: &mut Vec<BinId>);
+
+    /// Places `ball`, returning the `k` distinct bins in copy order.
+    fn place(&self, ball: u64) -> Vec<BinId> {
+        let mut out = Vec::with_capacity(self.replication());
+        self.place_into(ball, &mut out);
+        out
+    }
+
+    /// The expected number of copies of a single ball each bin receives
+    /// (aligned with [`PlacementStrategy::bin_ids`]). For a fair strategy
+    /// this is `k · b'_i / Σ b'_j` with the Lemma 2.2 adjusted capacities;
+    /// the experiment harness compares empirical loads against it.
+    fn fair_shares(&self) -> Vec<f64>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed;
+
+    impl PlacementStrategy for Fixed {
+        fn replication(&self) -> usize {
+            2
+        }
+        fn bin_ids(&self) -> &[BinId] {
+            const IDS: [BinId; 2] = [BinId(0), BinId(1)];
+            &IDS
+        }
+        fn place_into(&self, _ball: u64, out: &mut Vec<BinId>) {
+            out.clear();
+            out.extend([BinId(0), BinId(1)]);
+        }
+        fn fair_shares(&self) -> Vec<f64> {
+            vec![1.0, 1.0]
+        }
+    }
+
+    #[test]
+    fn default_place_delegates() {
+        let s = Fixed;
+        assert_eq!(s.place(7), vec![BinId(0), BinId(1)]);
+    }
+
+    #[test]
+    fn object_safe() {
+        let b: Box<dyn PlacementStrategy> = Box::new(Fixed);
+        assert_eq!(b.replication(), 2);
+    }
+}

@@ -1,0 +1,424 @@
+//! Table-based placement: the approach the paper's introduction rejects.
+//!
+//! "One approach to keep track of this assignment as the system evolves is
+//! to use rule-based or table-based placement strategies. However,
+//! table-based methods are not scalable…" (Section 1). This module
+//! implements exactly that rejected design — an explicit assignment table —
+//! for two reasons:
+//!
+//! 1. **Compactness comparison.** The table costs `Θ(m · k)` memory for
+//!    `m` balls, versus the hash-based strategies' `O(n)`/`O(k · n²)`;
+//!    the `table_compactness` experiment quantifies the gap the paper
+//!    motivates with.
+//! 2. **Optimal-adversary baseline.** A table can rebalance with the
+//!    *minimum* possible number of copy movements after a capacity change
+//!    — the denominator in the paper's competitiveness definition
+//!    ("c-competitive … at most c times the number of copies an optimal
+//!    strategy would need"). Measuring Redundant Share's movement against
+//!    [`TableBased::rebalance`] yields true competitive ratios rather
+//!    than proxies.
+
+use crate::bins::{BinId, BinSet};
+use crate::capacity::optimal_weights;
+use crate::error::PlacementError;
+use crate::strategy::PlacementStrategy;
+
+/// Summary of a table rebalance after a configuration change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RebalanceReport {
+    /// Copies moved (reassigned to a different bin).
+    pub moved: u64,
+    /// The structural lower bound on movement for this change: copies that
+    /// were on removed bins plus the total positive quota deficit of the
+    /// other bins.
+    pub lower_bound: u64,
+}
+
+/// Explicit-table placement over `m` balls with `k` copies each.
+///
+/// Placements are stored, not computed: lookups are `O(k)`, but memory is
+/// `Θ(m · k)` and every reconfiguration mutates the table. Fairness and
+/// capacity efficiency are by construction (quotas follow the Lemma 2.2
+/// adjusted capacities).
+///
+/// # Example
+///
+/// ```
+/// use rshare_core::{BinSet, PlacementStrategy, TableBased};
+///
+/// let bins = BinSet::from_capacities([200, 100, 100]).unwrap();
+/// let table = TableBased::new(&bins, 2, 150).unwrap();
+/// let copies = table.place(42);
+/// assert_eq!(copies.len(), 2);
+/// assert_ne!(copies[0], copies[1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TableBased {
+    ids: Vec<BinId>,
+    k: usize,
+    /// `table[ball][copy]` = index into `ids`.
+    table: Vec<Vec<u32>>,
+    /// Copies currently assigned to each bin.
+    load: Vec<u64>,
+    /// Fair per-ball share targets (adjusted capacities).
+    fair: Vec<f64>,
+}
+
+impl TableBased {
+    /// Builds a fair table for balls `0..m`.
+    ///
+    /// Quotas follow the adjusted capacities of Lemma 2.2; the initial
+    /// assignment is produced ball-by-ball by always using the `k` bins
+    /// with the largest remaining quota (the constructive proof of
+    /// Lemma 2.1), so it is capacity efficient.
+    ///
+    /// # Errors
+    ///
+    /// * [`PlacementError::ZeroReplication`] if `k == 0`.
+    /// * [`PlacementError::TooFewBins`] if `k` exceeds the number of bins
+    ///   or the capacities cannot hold `m` balls.
+    pub fn new(bins: &BinSet, k: usize, m: u64) -> Result<Self, PlacementError> {
+        if k == 0 {
+            return Err(PlacementError::ZeroReplication);
+        }
+        let n = bins.len();
+        if k > n {
+            return Err(PlacementError::TooFewBins { k, n });
+        }
+        let capacities: Vec<u64> = bins.bins().iter().map(|b| b.capacity()).collect();
+        if m > crate::capacity::max_balls(&capacities, k) {
+            // The system cannot hold m balls with k distinct copies each
+            // (Lemma 2.2's bound).
+            return Err(PlacementError::TooFewBins { k, n });
+        }
+        let weights = optimal_weights(&capacities, k);
+        let total: f64 = weights.iter().sum();
+        let quotas = integer_quotas(&weights, m * k as u64);
+        let mut remaining = quotas;
+        let mut table = Vec::with_capacity(usize::try_from(m).unwrap_or(0));
+        let mut load = vec![0u64; n];
+        for _ in 0..m {
+            // Pick the k bins with the largest remaining quota.
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_by(|&a, &b| remaining[b].cmp(&remaining[a]).then(a.cmp(&b)));
+            let chosen = &order[..k];
+            if remaining[chosen[k - 1]] == 0 {
+                return Err(PlacementError::TooFewBins { k, n });
+            }
+            for &c in chosen {
+                remaining[c] -= 1;
+                load[c] += 1;
+            }
+            table.push(chosen.iter().map(|&c| c as u32).collect());
+        }
+        Ok(Self {
+            ids: bins.bins().iter().map(|b| b.id()).collect(),
+            k,
+            table,
+            load,
+            fair: weights.iter().map(|w| k as f64 * w / total).collect(),
+        })
+    }
+
+    /// Number of balls the table covers.
+    #[must_use]
+    pub fn balls(&self) -> u64 {
+        self.table.len() as u64
+    }
+
+    /// Approximate memory footprint of the placement state in bytes — the
+    /// compactness metric the paper's criteria list names.
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        self.table.len() * self.k * std::mem::size_of::<u32>()
+            + self.ids.len() * (std::mem::size_of::<BinId>() + 8 + 8)
+    }
+
+    /// Per-bin copy counts.
+    #[must_use]
+    pub fn loads(&self) -> &[u64] {
+        &self.load
+    }
+
+    /// Rebalances the table onto a new bin configuration with (near-)
+    /// minimal copy movement.
+    ///
+    /// Copies on removed bins are reassigned; over-quota bins shed their
+    /// surplus to under-quota bins; all reassignments respect the
+    /// redundancy constraint (no two copies of a ball on one bin). The
+    /// achieved movement is reported next to the structural lower bound.
+    ///
+    /// # Errors
+    ///
+    /// [`PlacementError::TooFewBins`] if the new configuration cannot hold
+    /// the table's balls.
+    pub fn rebalance(&mut self, bins: &BinSet) -> Result<RebalanceReport, PlacementError> {
+        let n = bins.len();
+        if self.k > n {
+            return Err(PlacementError::TooFewBins { k: self.k, n });
+        }
+        let m = self.table.len() as u64;
+        let capacities: Vec<u64> = bins.bins().iter().map(|b| b.capacity()).collect();
+        let weights = optimal_weights(&capacities, self.k);
+        let total: f64 = weights.iter().sum();
+        let quotas = integer_quotas(&weights, m * self.k as u64);
+        // Map old bin indices to new ones by id.
+        let new_ids: Vec<BinId> = bins.bins().iter().map(|b| b.id()).collect();
+        let old_to_new: Vec<Option<u32>> = self
+            .ids
+            .iter()
+            .map(|id| new_ids.iter().position(|x| x == id).map(|p| p as u32))
+            .collect();
+        // Re-express the table in new indices; collect copies that must
+        // move (their bin is gone).
+        let mut load = vec![0u64; n];
+        let mut must_move: Vec<(usize, usize)> = Vec::new(); // (ball, copy slot)
+        for (ball, row) in self.table.iter_mut().enumerate() {
+            for (slot, cell) in row.iter_mut().enumerate() {
+                match old_to_new[*cell as usize] {
+                    Some(new_idx) => {
+                        *cell = new_idx;
+                        load[new_idx as usize] += 1;
+                    }
+                    None => {
+                        *cell = u32::MAX; // sentinel: unassigned
+                        must_move.push((ball, slot));
+                    }
+                }
+            }
+        }
+        let lower_bound = must_move.len() as u64
+            + quotas
+                .iter()
+                .zip(&load)
+                .map(|(&q, &l)| q.saturating_sub(l))
+                .sum::<u64>()
+                .saturating_sub(must_move.len() as u64);
+        // Surplus copies also have to move: collect (ball, slot) pairs from
+        // over-quota bins, preferring balls that unblock under-quota bins.
+        let mut moved = 0u64;
+        let mut surplus: Vec<u64> = load
+            .iter()
+            .zip(&quotas)
+            .map(|(&l, &q)| l.saturating_sub(q))
+            .collect();
+        for row in self.table.iter_mut() {
+            for slot in 0..self.k {
+                let cell = row[slot];
+                if cell == u32::MAX {
+                    continue;
+                }
+                let b = cell as usize;
+                if surplus[b] > 0 && load[b] > quotas[b] {
+                    // Try to shed this copy to an under-quota bin that the
+                    // ball does not already use.
+                    if let Some(target) = pick_target(&load, &quotas, row, n) {
+                        surplus[b] -= 1;
+                        load[b] -= 1;
+                        row[slot] = target as u32;
+                        load[target] += 1;
+                        moved += 1;
+                    }
+                }
+            }
+        }
+        // Now place the unassigned copies.
+        for (ball, slot) in must_move {
+            let row = &mut self.table[ball];
+            let target = pick_target(&load, &quotas, row, n)
+                .or_else(|| pick_least_loaded(&load, &quotas, row, n))
+                .ok_or(PlacementError::TooFewBins { k: self.k, n })?;
+            row[slot] = target as u32;
+            load[target] += 1;
+            moved += 1;
+        }
+        self.ids = new_ids;
+        self.load = load;
+        self.fair = weights.iter().map(|w| self.k as f64 * w / total).collect();
+        Ok(RebalanceReport { moved, lower_bound })
+    }
+}
+
+/// Largest-remainder integer quotas summing exactly to `total_copies`.
+fn integer_quotas(weights: &[f64], total_copies: u64) -> Vec<u64> {
+    let total_w: f64 = weights.iter().sum();
+    let exact: Vec<f64> = weights
+        .iter()
+        .map(|w| w / total_w * total_copies as f64)
+        .collect();
+    let mut quotas: Vec<u64> = exact.iter().map(|e| e.floor() as u64).collect();
+    let mut assigned: u64 = quotas.iter().sum();
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by(|&a, &b| {
+        let ra = exact[a] - exact[a].floor();
+        let rb = exact[b] - exact[b].floor();
+        rb.partial_cmp(&ra).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut i = 0;
+    while assigned < total_copies {
+        quotas[order[i % order.len()]] += 1;
+        assigned += 1;
+        i += 1;
+    }
+    quotas
+}
+
+/// An under-quota bin the ball's row does not already use.
+fn pick_target(load: &[u64], quotas: &[u64], row: &[u32], n: usize) -> Option<usize> {
+    (0..n)
+        .filter(|&b| load[b] < quotas[b] && !row.contains(&(b as u32)))
+        .max_by_key(|&b| quotas[b] - load[b])
+}
+
+/// Fallback: the relatively least-loaded usable bin (tolerates a quota
+/// overshoot of one copy when redundancy constraints block the ideal
+/// target).
+fn pick_least_loaded(load: &[u64], quotas: &[u64], row: &[u32], n: usize) -> Option<usize> {
+    (0..n)
+        .filter(|&b| !row.contains(&(b as u32)))
+        .min_by(|&a, &b| {
+            let ra = load[a] as f64 / quotas[a].max(1) as f64;
+            let rb = load[b] as f64 / quotas[b].max(1) as f64;
+            ra.partial_cmp(&rb).unwrap_or(std::cmp::Ordering::Equal)
+        })
+}
+
+impl PlacementStrategy for TableBased {
+    fn replication(&self) -> usize {
+        self.k
+    }
+
+    fn bin_ids(&self) -> &[BinId] {
+        &self.ids
+    }
+
+    /// # Panics
+    ///
+    /// Panics if `ball` is outside the table's domain `0..m`; a table can
+    /// only answer for balls it has assignments for — exactly the
+    /// scalability limitation the hash-based strategies remove.
+    fn place_into(&self, ball: u64, out: &mut Vec<BinId>) {
+        out.clear();
+        assert!(
+            ball < self.table.len() as u64,
+            "ball within table domain 0..{}",
+            self.table.len()
+        );
+        let row = &self.table[ball as usize];
+        out.extend(row.iter().map(|&c| self.ids[c as usize]));
+    }
+
+    fn fair_shares(&self) -> Vec<f64> {
+        self.fair.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bins::Bin;
+
+    fn check_valid(table: &TableBased) {
+        for ball in 0..table.balls() {
+            let placed = table.place(ball);
+            let mut uniq = placed.clone();
+            uniq.sort();
+            uniq.dedup();
+            assert_eq!(uniq.len(), table.replication(), "ball {ball}");
+        }
+    }
+
+    #[test]
+    fn construction_is_fair_and_valid() {
+        let bins = BinSet::from_capacities([400, 300, 200, 100]).unwrap();
+        let m = 400u64;
+        let table = TableBased::new(&bins, 2, m).unwrap();
+        check_valid(&table);
+        // Loads hit the integer quotas exactly.
+        let loads = table.loads();
+        let total: u64 = loads.iter().sum();
+        assert_eq!(total, m * 2);
+        for (l, f) in loads.iter().zip(table.fair_shares()) {
+            let got = *l as f64 / m as f64;
+            assert!((got - f).abs() < 0.02, "load {got} vs fair {f}");
+        }
+    }
+
+    #[test]
+    fn capacity_bound_enforced() {
+        let bins = BinSet::from_capacities([2, 1, 1]).unwrap();
+        assert!(TableBased::new(&bins, 2, 2).is_ok());
+        assert!(TableBased::new(&bins, 2, 3).is_err());
+    }
+
+    #[test]
+    fn rebalance_add_bin_is_minimal() {
+        let bins = BinSet::from_capacities([1_000, 1_000, 1_000, 1_000]).unwrap();
+        let m = 1_000u64;
+        let mut table = TableBased::new(&bins, 2, m).unwrap();
+        let grown = bins.with_bin(Bin::new(9u64, 1_000).unwrap()).unwrap();
+        let report = table.rebalance(&grown).unwrap();
+        check_valid(&table);
+        // Optimal movement = the new bin's quota: 2m/5 = 400 copies.
+        assert_eq!(report.lower_bound, 400);
+        assert!(
+            report.moved <= report.lower_bound + 5,
+            "moved {} vs lower bound {}",
+            report.moved,
+            report.lower_bound
+        );
+        // Fairness restored.
+        for (l, f) in table.loads().iter().zip(table.fair_shares()) {
+            let got = *l as f64 / m as f64;
+            assert!((got - f).abs() < 0.02, "load {got} vs fair {f}");
+        }
+    }
+
+    #[test]
+    fn rebalance_remove_bin_moves_only_its_copies() {
+        let bins = BinSet::from_capacities([1_000, 1_000, 1_000, 1_000, 1_000]).unwrap();
+        let m = 1_000u64;
+        let mut table = TableBased::new(&bins, 2, m).unwrap();
+        let lost_copies = table.loads()[4];
+        let shrunk = bins.without_bin(BinId(4)).unwrap();
+        let report = table.rebalance(&shrunk).unwrap();
+        check_valid(&table);
+        assert_eq!(
+            report.moved, lost_copies,
+            "removal moves exactly the lost copies"
+        );
+    }
+
+    #[test]
+    fn rebalance_heterogeneous_change() {
+        let bins = BinSet::from_capacities([5_000, 4_000, 3_000, 2_000]).unwrap();
+        let m = 600u64;
+        let mut table = TableBased::new(&bins, 3, m).unwrap();
+        let grown = bins.with_bin(Bin::new(7u64, 6_000).unwrap()).unwrap();
+        let report = table.rebalance(&grown).unwrap();
+        check_valid(&table);
+        assert!(report.moved >= report.lower_bound);
+        assert!(
+            report.moved <= report.lower_bound + m / 50 + 5,
+            "moved {} vs lower bound {}",
+            report.moved,
+            report.lower_bound
+        );
+    }
+
+    #[test]
+    fn memory_grows_with_balls() {
+        let bins = BinSet::from_capacities([1_000, 1_000]).unwrap();
+        let small = TableBased::new(&bins, 2, 100).unwrap();
+        let large = TableBased::new(&bins, 2, 900).unwrap();
+        assert!(large.memory_bytes() > 8 * small.memory_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "ball within table domain")]
+    fn out_of_domain_ball_panics() {
+        let bins = BinSet::from_capacities([10, 10]).unwrap();
+        let table = TableBased::new(&bins, 2, 5).unwrap();
+        let _ = table.place(u64::MAX);
+    }
+}

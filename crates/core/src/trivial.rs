@@ -1,0 +1,204 @@
+//! The trivial replication baseline (Definition 2.3).
+//!
+//! "Trivial" replication produces `k` copies by performing `k` draws of a
+//! fair single-copy strategy, excluding previously chosen bins and
+//! renormalising the *original* weights among the survivors. This is the
+//! natural approach used, e.g., by peer-to-peer systems layering replication
+//! over consistent hashing — and Section 2.2 of the paper proves it loses
+//! fairness and capacity efficiency on heterogeneous systems: the biggest
+//! bin receives strictly less than its fair share whenever it is at least
+//! `(1 + ε)` times the next bin (Lemma 2.4). Figure 1's three-bin example
+//! misses the big bin with probability 1/6, wasting 1/12 of the system's
+//! capacity.
+//!
+//! The baseline exists to reproduce those negative results
+//! (`fig1_trivial_waste`, `table_capacity_efficiency`).
+
+use rshare_hash::{stable_hash2, Rendezvous, SingleCopySelector};
+
+use crate::bins::{BinId, BinSet};
+use crate::error::PlacementError;
+use crate::strategy::PlacementStrategy;
+
+/// Domain separator distinguishing the k draws of one ball.
+const TRIVIAL_DOMAIN: u64 = 0x5452_4956_4941_4C00; // "TRIVIAL"
+
+/// k-fold replication by k independent fair draws without replacement.
+///
+/// # Example
+///
+/// ```
+/// use rshare_core::{BinSet, PlacementStrategy, TrivialReplication};
+///
+/// let bins = BinSet::from_capacities([200, 100, 100]).unwrap();
+/// let trivial = TrivialReplication::new(&bins, 2).unwrap();
+/// let copies = trivial.place(7);
+/// assert_eq!(copies.len(), 2);
+/// assert_ne!(copies[0], copies[1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TrivialReplication<S = Rendezvous> {
+    ids: Vec<BinId>,
+    names: Vec<u64>,
+    weights: Vec<f64>,
+    k: usize,
+    selector: S,
+}
+
+impl TrivialReplication<Rendezvous> {
+    /// Builds the baseline with the default (weighted rendezvous) selector.
+    ///
+    /// # Errors
+    ///
+    /// * [`PlacementError::ZeroReplication`] if `k == 0`.
+    /// * [`PlacementError::TooFewBins`] if `k` exceeds the number of bins.
+    pub fn new(bins: &BinSet, k: usize) -> Result<Self, PlacementError> {
+        Self::with_selector(bins, k, Rendezvous::new())
+    }
+}
+
+impl<S: SingleCopySelector> TrivialReplication<S> {
+    /// Builds the baseline with a custom single-copy selector.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TrivialReplication::new`].
+    pub fn with_selector(bins: &BinSet, k: usize, selector: S) -> Result<Self, PlacementError> {
+        if k == 0 {
+            return Err(PlacementError::ZeroReplication);
+        }
+        if k > bins.len() {
+            return Err(PlacementError::TooFewBins { k, n: bins.len() });
+        }
+        Ok(Self {
+            ids: bins.bins().iter().map(|b| b.id()).collect(),
+            names: bins.bins().iter().map(|b| b.id().raw()).collect(),
+            weights: bins.bins().iter().map(|b| b.capacity() as f64).collect(),
+            k,
+            selector,
+        })
+    }
+}
+
+impl<S: SingleCopySelector> PlacementStrategy for TrivialReplication<S> {
+    fn replication(&self) -> usize {
+        self.k
+    }
+
+    fn bin_ids(&self) -> &[BinId] {
+        &self.ids
+    }
+
+    fn place_into(&self, ball: u64, out: &mut Vec<BinId>) {
+        out.clear();
+        // Definition 2.3: draw i runs the fair k = 1 strategy over exactly
+        // the bins not chosen by draws 1..i, with their constant weights.
+        let mut names: Vec<u64> = self.names.clone();
+        let mut weights: Vec<f64> = self.weights.clone();
+        let mut ids: Vec<BinId> = self.ids.clone();
+        for draw in 0..self.k {
+            let key = stable_hash2(ball, TRIVIAL_DOMAIN ^ draw as u64);
+            let idx = self.selector.select(key, &names, &weights);
+            out.push(ids[idx]);
+            names.swap_remove(idx);
+            weights.swap_remove(idx);
+            ids.swap_remove(idx);
+        }
+    }
+
+    /// The *intended* fair shares `k · b_i / B` over the raw capacities.
+    ///
+    /// Note these are the targets the trivial strategy aims for but — per
+    /// Lemma 2.4 — systematically misses on heterogeneous systems; the
+    /// capacity-efficiency experiments quantify the gap.
+    fn fair_shares(&self) -> Vec<f64> {
+        let total: f64 = self.weights.iter().sum();
+        self.weights
+            .iter()
+            .map(|w| self.k as f64 * w / total)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_copies() {
+        let bins = BinSet::from_capacities([50, 40, 30, 20, 10]).unwrap();
+        let t = TrivialReplication::new(&bins, 3).unwrap();
+        for ball in 0..2_000u64 {
+            let placed = t.place(ball);
+            let mut uniq = placed.clone();
+            uniq.sort();
+            uniq.dedup();
+            assert_eq!(uniq.len(), 3);
+        }
+    }
+
+    #[test]
+    fn figure_1_misses_the_big_bin_one_sixth_of_the_time() {
+        // Bins (2, 1, 1), k = 2. P[big bin not chosen] = 1/2 · 1/3 = 1/6.
+        let bins = BinSet::from_capacities([2, 1, 1]).unwrap();
+        let t = TrivialReplication::new(&bins, 2).unwrap();
+        let big = t.bin_ids()[0];
+        let balls = 120_000u64;
+        let misses = (0..balls).filter(|&b| !t.place(b).contains(&big)).count();
+        let rate = misses as f64 / balls as f64;
+        assert!(
+            (rate - 1.0 / 6.0).abs() < 0.01,
+            "miss rate {rate}, expected 1/6 ≈ 0.1667"
+        );
+    }
+
+    #[test]
+    fn uniform_bins_are_fair() {
+        // On homogeneous bins the trivial approach is fine — the paper's
+        // criticism applies to heterogeneous capacities only.
+        let bins = BinSet::from_capacities([10; 6]).unwrap();
+        let t = TrivialReplication::new(&bins, 2).unwrap();
+        let balls = 60_000u64;
+        let mut counts = vec![0u64; 6];
+        for ball in 0..balls {
+            for id in t.place(ball) {
+                let pos = t.bin_ids().iter().position(|b| *b == id).unwrap();
+                counts[pos] += 1;
+            }
+        }
+        for &c in &counts {
+            let share = c as f64 / balls as f64;
+            assert!((share - 2.0 / 6.0).abs() < 0.01, "share {share}");
+        }
+    }
+
+    #[test]
+    fn big_bin_undersupplied_lemma_2_4() {
+        // Heterogeneous: the biggest bin's expected load falls short of the
+        // optimal load (Lemma 2.4).
+        let bins = BinSet::from_capacities([2, 1, 1]).unwrap();
+        let t = TrivialReplication::new(&bins, 2).unwrap();
+        let big = t.bin_ids()[0];
+        let balls = 120_000u64;
+        let hits = (0..balls).filter(|&b| t.place(b).contains(&big)).count();
+        let share = hits as f64 / balls as f64;
+        let optimal = 1.0; // fair share of the big bin is a full copy per ball
+        assert!(
+            share < optimal - 0.15,
+            "trivial should waste the big bin: share {share}"
+        );
+    }
+
+    #[test]
+    fn construction_errors() {
+        let bins = BinSet::from_capacities([1, 1]).unwrap();
+        assert!(matches!(
+            TrivialReplication::new(&bins, 0),
+            Err(PlacementError::ZeroReplication)
+        ));
+        assert!(matches!(
+            TrivialReplication::new(&bins, 5),
+            Err(PlacementError::TooFewBins { .. })
+        ));
+    }
+}

@@ -1,0 +1,128 @@
+//! The common interface of erasure codes.
+
+use crate::error::ErasureError;
+
+/// An erasure code over byte shards.
+///
+/// A codeword consists of [`ErasureCode::data_shards`] data shards followed
+/// by [`ErasureCode::parity_shards`] parity shards, all of equal length.
+/// The shard at index `i` is "sub-block `i`" of a redundancy group — the
+/// paper's Redundant Share strategies identify the i-th copy of a block
+/// precisely so that such position-dependent sub-blocks can be mapped onto
+/// storage devices.
+///
+/// Codes are `Send + Sync`: they are immutable codecs, and the storage
+/// layer shares them across threads.
+pub trait ErasureCode: Send + Sync {
+    /// Number of data shards `d`.
+    fn data_shards(&self) -> usize;
+
+    /// Number of parity shards `p`.
+    fn parity_shards(&self) -> usize;
+
+    /// Total shards `d + p`.
+    fn total_shards(&self) -> usize {
+        self.data_shards() + self.parity_shards()
+    }
+
+    /// Maximum number of simultaneously missing shards the code can always
+    /// recover from.
+    fn tolerated_erasures(&self) -> usize {
+        self.parity_shards()
+    }
+
+    /// Required divisor of the shard length in bytes (1 unless the code
+    /// works on sub-shard symbols, like EVENODD's `p - 1` rows).
+    fn shard_multiple(&self) -> usize {
+        1
+    }
+
+    /// Computes the parity shards from the data shards.
+    ///
+    /// `shards` must hold [`ErasureCode::total_shards`] equally sized
+    /// vectors; the first `d` are read, the last `p` are overwritten.
+    ///
+    /// # Errors
+    ///
+    /// [`ErasureError::WrongShardCount`], [`ErasureError::ShardLengthMismatch`]
+    /// or [`ErasureError::BadShardLength`] on malformed input.
+    fn encode(&self, shards: &mut [Vec<u8>]) -> Result<(), ErasureError>;
+
+    /// Recomputes every missing (`None`) shard in place.
+    ///
+    /// # Errors
+    ///
+    /// The validation errors of [`ErasureCode::encode`], plus
+    /// [`ErasureError::TooManyErasures`] when more shards are missing than
+    /// [`ErasureCode::tolerated_erasures`].
+    fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), ErasureError>;
+}
+
+/// Validates shard counts and equal lengths, returning the shard length.
+pub(crate) fn check_shards(
+    shards: &[Vec<u8>],
+    expected: usize,
+    multiple: usize,
+) -> Result<usize, ErasureError> {
+    if shards.len() != expected {
+        return Err(ErasureError::WrongShardCount {
+            expected,
+            got: shards.len(),
+        });
+    }
+    let len = shards[0].len();
+    if shards.iter().any(|s| s.len() != len) {
+        return Err(ErasureError::ShardLengthMismatch);
+    }
+    if len == 0 || !len.is_multiple_of(multiple) {
+        return Err(ErasureError::BadShardLength {
+            multiple_of: multiple,
+        });
+    }
+    Ok(len)
+}
+
+/// Validates optional shards: count, equal lengths of present shards, and
+/// the erasure budget. Returns `(shard_len, missing_indices)`.
+pub(crate) fn check_optional_shards(
+    shards: &[Option<Vec<u8>>],
+    expected: usize,
+    multiple: usize,
+    tolerated: usize,
+) -> Result<(usize, Vec<usize>), ErasureError> {
+    if shards.len() != expected {
+        return Err(ErasureError::WrongShardCount {
+            expected,
+            got: shards.len(),
+        });
+    }
+    let missing: Vec<usize> = shards
+        .iter()
+        .enumerate()
+        .filter_map(|(i, s)| s.is_none().then_some(i))
+        .collect();
+    if missing.len() > tolerated {
+        return Err(ErasureError::TooManyErasures {
+            missing: missing.len(),
+            tolerated,
+        });
+    }
+    let mut len = None;
+    for s in shards.iter().flatten() {
+        match len {
+            None => len = Some(s.len()),
+            Some(l) if l != s.len() => return Err(ErasureError::ShardLengthMismatch),
+            _ => {}
+        }
+    }
+    let len = len.ok_or(ErasureError::TooManyErasures {
+        missing: missing.len(),
+        tolerated,
+    })?;
+    if len == 0 || len % multiple != 0 {
+        return Err(ErasureError::BadShardLength {
+            multiple_of: multiple,
+        });
+    }
+    Ok((len, missing))
+}

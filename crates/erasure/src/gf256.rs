@@ -1,0 +1,213 @@
+//! Arithmetic in GF(2⁸) with the Rijndael-compatible polynomial `0x11d`.
+//!
+//! Addition is XOR; multiplication uses log/exp tables built once at first
+//! use. The field underlies the Reed–Solomon code in
+//! the Reed-Solomon module.
+
+/// The irreducible polynomial x⁸ + x⁴ + x³ + x² + 1.
+const POLY: u16 = 0x11d;
+
+/// Log/exp tables: `EXP[i] = g^i` (doubled to avoid modular reduction in
+/// `mul`), `LOG[x] = log_g x` for x != 0.
+struct Tables {
+    exp: [u8; 512],
+    log: [u8; 256],
+}
+
+#[allow(clippy::needless_range_loop)] // exp and log are filled in lockstep
+fn tables() -> &'static Tables {
+    use std::sync::OnceLock;
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut exp = [0u8; 512];
+        let mut log = [0u8; 256];
+        let mut x: u16 = 1;
+        for i in 0..255 {
+            exp[i] = x as u8;
+            log[x as usize] = i as u8;
+            x <<= 1;
+            if x & 0x100 != 0 {
+                x ^= POLY;
+            }
+        }
+        for i in 255..512 {
+            exp[i] = exp[i - 255];
+        }
+        Tables { exp, log }
+    })
+}
+
+/// Adds two field elements (XOR).
+#[inline]
+#[must_use]
+pub const fn add(a: u8, b: u8) -> u8 {
+    a ^ b
+}
+
+/// Multiplies two field elements.
+///
+/// # Example
+///
+/// ```
+/// use rshare_erasure::gf256;
+/// assert_eq!(gf256::mul(0, 7), 0);
+/// assert_eq!(gf256::mul(1, 7), 7);
+/// // 2 · 0x80 wraps through the reduction polynomial:
+/// assert_eq!(gf256::mul(2, 0x80), 0x1d);
+/// ```
+#[inline]
+#[must_use]
+pub fn mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    let t = tables();
+    t.exp[t.log[a as usize] as usize + t.log[b as usize] as usize]
+}
+
+/// The multiplicative inverse of a non-zero element.
+///
+/// # Panics
+///
+/// Panics if `a == 0`; zero has no inverse.
+#[inline]
+#[must_use]
+pub fn inv(a: u8) -> u8 {
+    assert_ne!(a, 0, "zero has no multiplicative inverse in GF(256)");
+    let t = tables();
+    t.exp[255 - t.log[a as usize] as usize]
+}
+
+/// Divides `a` by `b`.
+///
+/// # Panics
+///
+/// Panics if `b == 0`.
+#[inline]
+#[must_use]
+pub fn div(a: u8, b: u8) -> u8 {
+    mul(a, inv(b))
+}
+
+/// Raises `a` to the power `e`.
+#[must_use]
+pub fn pow(a: u8, e: u32) -> u8 {
+    if e == 0 {
+        return 1;
+    }
+    if a == 0 {
+        return 0;
+    }
+    let t = tables();
+    let log = u32::from(t.log[a as usize]);
+    t.exp[((log * e) % 255) as usize]
+}
+
+/// Multiplies every byte of `data` by the constant `c`, XOR-accumulating
+/// into `acc` (`acc[i] ^= c · data[i]`). The inner loop of Reed–Solomon
+/// encoding and decoding.
+pub fn mul_acc(acc: &mut [u8], data: &[u8], c: u8) {
+    debug_assert_eq!(acc.len(), data.len());
+    if c == 0 {
+        return;
+    }
+    if c == 1 {
+        for (a, d) in acc.iter_mut().zip(data) {
+            *a ^= d;
+        }
+        return;
+    }
+    let t = tables();
+    let log_c = t.log[c as usize] as usize;
+    for (a, &d) in acc.iter_mut().zip(data) {
+        if d != 0 {
+            *a ^= t.exp[log_c + t.log[d as usize] as usize];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_axioms_exhaustive_samples() {
+        // Associativity / commutativity / distributivity on a grid.
+        for a in (0u16..256).step_by(7) {
+            for b in (0u16..256).step_by(11) {
+                let (a, b) = (a as u8, b as u8);
+                assert_eq!(mul(a, b), mul(b, a));
+                for c in (0u16..256).step_by(29) {
+                    let c = c as u8;
+                    assert_eq!(mul(a, mul(b, c)), mul(mul(a, b), c));
+                    assert_eq!(mul(a, add(b, c)), add(mul(a, b), mul(a, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inverses_are_exact() {
+        for a in 1u16..256 {
+            let a = a as u8;
+            assert_eq!(mul(a, inv(a)), 1, "a = {a}");
+            assert_eq!(div(a, a), 1);
+        }
+    }
+
+    #[test]
+    fn identity_and_zero() {
+        for a in 0u16..256 {
+            let a = a as u8;
+            assert_eq!(mul(a, 1), a);
+            assert_eq!(mul(a, 0), 0);
+            assert_eq!(add(a, 0), a);
+            assert_eq!(add(a, a), 0);
+        }
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        for a in [2u8, 3, 0x53, 0xca] {
+            let mut acc = 1u8;
+            for e in 0..20u32 {
+                assert_eq!(pow(a, e), acc, "a={a} e={e}");
+                acc = mul(acc, a);
+            }
+        }
+        assert_eq!(pow(0, 0), 1);
+        assert_eq!(pow(0, 5), 0);
+    }
+
+    #[test]
+    fn generator_has_full_order() {
+        // 2 generates the multiplicative group for 0x11d.
+        let mut seen = std::collections::HashSet::new();
+        let mut x = 1u8;
+        for _ in 0..255 {
+            assert!(seen.insert(x));
+            x = mul(x, 2);
+        }
+        assert_eq!(x, 1);
+    }
+
+    #[test]
+    fn mul_acc_matches_scalar() {
+        let data: Vec<u8> = (0..=255).collect();
+        for c in [0u8, 1, 2, 0x1d, 0xff] {
+            let mut acc = vec![0xAAu8; 256];
+            let mut want = acc.clone();
+            mul_acc(&mut acc, &data, c);
+            for (w, &d) in want.iter_mut().zip(&data) {
+                *w ^= mul(c, d);
+            }
+            assert_eq!(acc, want, "c = {c}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no multiplicative inverse")]
+    fn inv_zero_panics() {
+        let _ = inv(0);
+    }
+}

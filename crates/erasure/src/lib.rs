@@ -1,0 +1,54 @@
+//! Erasure codes for redundancy groups.
+//!
+//! The paper notes that all Redundant Share results hold not only for plain
+//! k-fold mirroring but for any redundancy technique in which the i-th
+//! sub-block of a redundancy group has a distinct meaning — naming Parity
+//! RAID, Reed–Solomon codes and EVENODD explicitly and citing Row-Diagonal
+//! Parity. This crate implements those codes from scratch so the storage
+//! virtualization layer (`rshare-vds`) can place erasure-coded redundancy
+//! groups with Redundant Share: shard `i` of a group is stored on the i-th
+//! bin the placement strategy returns.
+//!
+//! | Code | Data / parity shards | Tolerates | Arithmetic |
+//! |---|---|---|---|
+//! | [`XorParity`] | d / 1 | 1 erasure | XOR |
+//! | [`EvenOdd`] (prime p) | p / 2 | 2 erasures | XOR |
+//! | [`Rdp`] (prime p) | p−1 / 2 | 2 erasures | XOR |
+//! | [`ReedSolomon`] | d / p | p erasures | GF(256) |
+//! | [`MatrixCode`] (LRC) | g·s / g+p | p+1 guaranteed, more opportunistically | GF(256) |
+//!
+//! # Example
+//!
+//! ```
+//! use rshare_erasure::{ErasureCode, ReedSolomon};
+//!
+//! let rs = ReedSolomon::new(3, 2).unwrap();
+//! let mut shards = vec![vec![1u8; 8], vec![2; 8], vec![3; 8], vec![0; 8], vec![0; 8]];
+//! rs.encode(&mut shards).unwrap();
+//! let mut damaged: Vec<Option<Vec<u8>>> = shards.into_iter().map(Some).collect();
+//! damaged[0] = None;
+//! damaged[3] = None;
+//! rs.reconstruct(&mut damaged).unwrap();
+//! assert_eq!(damaged[0].as_deref(), Some([1u8; 8].as_slice()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod code;
+mod error;
+mod evenodd;
+pub mod gf256;
+pub mod matrix;
+mod matrix_code;
+mod parity;
+mod rdp;
+mod reed_solomon;
+
+pub use code::ErasureCode;
+pub use error::ErasureError;
+pub use evenodd::EvenOdd;
+pub use matrix_code::MatrixCode;
+pub use parity::XorParity;
+pub use rdp::Rdp;
+pub use reed_solomon::ReedSolomon;

@@ -1,0 +1,128 @@
+//! Single XOR parity (the redundancy of RAID levels 4 and 5).
+//!
+//! One parity shard equal to the XOR of all data shards; tolerates one
+//! erasure. This is the "Parity RAID" scheme from the paper's list of
+//! supported redundancy codes and the simplest non-mirroring redundancy
+//! group the storage layer can place with Redundant Share.
+
+use crate::code::{check_optional_shards, check_shards, ErasureCode};
+use crate::error::ErasureError;
+
+/// XOR parity over `d` data shards (RAID-4/5 style, `p = 1`).
+///
+/// # Example
+///
+/// ```
+/// use rshare_erasure::{ErasureCode, XorParity};
+///
+/// let code = XorParity::new(3).unwrap();
+/// let mut shards = vec![vec![1u8, 2], vec![3, 4], vec![5, 6], vec![0, 0]];
+/// code.encode(&mut shards).unwrap();
+/// assert_eq!(shards[3], vec![1 ^ 3 ^ 5, 2 ^ 4 ^ 6]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct XorParity {
+    data: usize,
+}
+
+impl XorParity {
+    /// Creates a parity code over `data ≥ 1` data shards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ErasureError::InvalidParameters`] if `data == 0`.
+    pub fn new(data: usize) -> Result<Self, ErasureError> {
+        if data == 0 {
+            return Err(ErasureError::InvalidParameters {
+                reason: "need at least one data shard",
+            });
+        }
+        Ok(Self { data })
+    }
+}
+
+impl ErasureCode for XorParity {
+    fn data_shards(&self) -> usize {
+        self.data
+    }
+
+    fn parity_shards(&self) -> usize {
+        1
+    }
+
+    fn encode(&self, shards: &mut [Vec<u8>]) -> Result<(), ErasureError> {
+        let len = check_shards(shards, self.data + 1, 1)?;
+        let (data, parity) = shards.split_at_mut(self.data);
+        let parity = &mut parity[0];
+        parity.iter_mut().for_each(|b| *b = 0);
+        for d in data {
+            for (p, &b) in parity.iter_mut().zip(d.iter()) {
+                *p ^= b;
+            }
+            debug_assert_eq!(d.len(), len);
+        }
+        Ok(())
+    }
+
+    fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), ErasureError> {
+        let (len, missing) = check_optional_shards(shards, self.data + 1, 1, 1)?;
+        let Some(&target) = missing.first() else {
+            return Ok(());
+        };
+        let mut out = vec![0u8; len];
+        for s in shards.iter().flatten() {
+            for (o, &b) in out.iter_mut().zip(s.iter()) {
+                *o ^= b;
+            }
+        }
+        shards[target] = Some(out);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_any_single_loss() {
+        let code = XorParity::new(4).unwrap();
+        let mut shards: Vec<Vec<u8>> = (0..4)
+            .map(|i| (0..16).map(|j| (i * 37 + j) as u8).collect())
+            .collect();
+        shards.push(vec![0; 16]);
+        code.encode(&mut shards).unwrap();
+        let original = shards.clone();
+        for lost in 0..5 {
+            let mut damaged: Vec<Option<Vec<u8>>> = original.iter().cloned().map(Some).collect();
+            damaged[lost] = None;
+            code.reconstruct(&mut damaged).unwrap();
+            for (got, want) in damaged.iter().zip(&original) {
+                assert_eq!(got.as_ref().unwrap(), want);
+            }
+        }
+    }
+
+    #[test]
+    fn double_loss_rejected() {
+        let code = XorParity::new(2).unwrap();
+        let mut damaged = vec![None, Some(vec![1u8]), None];
+        assert_eq!(
+            code.reconstruct(&mut damaged),
+            Err(ErasureError::TooManyErasures {
+                missing: 2,
+                tolerated: 1
+            })
+        );
+    }
+
+    #[test]
+    fn geometry() {
+        let code = XorParity::new(5).unwrap();
+        assert_eq!(code.data_shards(), 5);
+        assert_eq!(code.parity_shards(), 1);
+        assert_eq!(code.total_shards(), 6);
+        assert_eq!(code.tolerated_erasures(), 1);
+        assert!(XorParity::new(0).is_err());
+    }
+}

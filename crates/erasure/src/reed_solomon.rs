@@ -1,0 +1,253 @@
+//! Systematic Reed–Solomon codes over GF(256).
+//!
+//! The encode matrix is a Vandermonde matrix transformed so its top `d × d`
+//! block is the identity (Plank's construction): data shards pass through
+//! unchanged and each parity shard is a fixed GF(256)-linear combination of
+//! the data shards. Any `d` surviving shards suffice to reconstruct all
+//! `d + p`, so the code tolerates any `p` erasures — the "Reed-Solomon
+//! Codes" case the paper lists among the redundancy schemes Redundant Share
+//! supports.
+
+use crate::code::{check_optional_shards, check_shards, ErasureCode};
+use crate::error::ErasureError;
+use crate::gf256;
+use crate::matrix::Matrix;
+
+/// A systematic Reed–Solomon erasure code with `d` data and `p` parity
+/// shards.
+///
+/// # Example
+///
+/// ```
+/// use rshare_erasure::{ErasureCode, ReedSolomon};
+///
+/// let rs = ReedSolomon::new(4, 2).unwrap();
+/// let mut shards: Vec<Vec<u8>> = vec![
+///     b"abcd".to_vec(), b"efgh".to_vec(), b"ijkl".to_vec(), b"mnop".to_vec(),
+///     vec![0; 4], vec![0; 4],
+/// ];
+/// rs.encode(&mut shards).unwrap();
+///
+/// // Lose any two shards…
+/// let mut damaged: Vec<Option<Vec<u8>>> = shards.iter().cloned().map(Some).collect();
+/// damaged[1] = None;
+/// damaged[4] = None;
+/// rs.reconstruct(&mut damaged).unwrap();
+/// assert_eq!(damaged[1].as_deref(), Some(b"efgh".as_slice()));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReedSolomon {
+    data: usize,
+    parity: usize,
+    /// `(d + p) × d` systematic encode matrix.
+    encode_matrix: Matrix,
+}
+
+impl ReedSolomon {
+    /// Creates a code with `data` data shards and `parity` parity shards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ErasureError::InvalidParameters`] if either count is zero
+    /// or `data + parity > 256` (GF(256) runs out of evaluation points).
+    pub fn new(data: usize, parity: usize) -> Result<Self, ErasureError> {
+        if data == 0 || parity == 0 {
+            return Err(ErasureError::InvalidParameters {
+                reason: "data and parity shard counts must be positive",
+            });
+        }
+        if data + parity > 256 {
+            return Err(ErasureError::InvalidParameters {
+                reason: "GF(256) supports at most 256 total shards",
+            });
+        }
+        let vandermonde = Matrix::vandermonde(data + parity, data);
+        let top = vandermonde.select_rows(&(0..data).collect::<Vec<_>>());
+        let inv = top.inverted().expect("top Vandermonde block is invertible");
+        let encode_matrix = vandermonde.mul(&inv);
+        Ok(Self {
+            data,
+            parity,
+            encode_matrix,
+        })
+    }
+}
+
+impl ErasureCode for ReedSolomon {
+    fn data_shards(&self) -> usize {
+        self.data
+    }
+
+    fn parity_shards(&self) -> usize {
+        self.parity
+    }
+
+    fn encode(&self, shards: &mut [Vec<u8>]) -> Result<(), ErasureError> {
+        let len = check_shards(shards, self.total_shards(), 1)?;
+        let (data, parity) = shards.split_at_mut(self.data);
+        for (p, out) in parity.iter_mut().enumerate() {
+            out.iter_mut().for_each(|b| *b = 0);
+            let row = self.encode_matrix.row(self.data + p);
+            for (j, d) in data.iter().enumerate() {
+                debug_assert_eq!(d.len(), len);
+                gf256::mul_acc(out, d, row[j]);
+            }
+        }
+        Ok(())
+    }
+
+    fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), ErasureError> {
+        let (len, missing) = check_optional_shards(shards, self.total_shards(), 1, self.parity)?;
+        if missing.is_empty() {
+            return Ok(());
+        }
+        // Pick the first d surviving shards and invert their encode rows to
+        // obtain a decode matrix mapping survivors -> data shards.
+        let survivors: Vec<usize> = (0..self.total_shards())
+            .filter(|i| shards[*i].is_some())
+            .take(self.data)
+            .collect();
+        debug_assert_eq!(survivors.len(), self.data);
+        let sub = self.encode_matrix.select_rows(&survivors);
+        let decode = sub
+            .inverted()
+            .expect("any d Vandermonde-derived rows are invertible");
+        // Rebuild missing data shards.
+        let missing_data: Vec<usize> = missing.iter().copied().filter(|&i| i < self.data).collect();
+        for &target in &missing_data {
+            let mut out = vec![0u8; len];
+            for (j, &src) in survivors.iter().enumerate() {
+                let c = decode[(target, j)];
+                let shard = shards[src].as_ref().expect("survivor present");
+                gf256::mul_acc(&mut out, shard, c);
+            }
+            shards[target] = Some(out);
+        }
+        // Rebuild missing parity shards from the (now complete) data.
+        for &target in missing.iter().filter(|&&i| i >= self.data) {
+            let mut out = vec![0u8; len];
+            let row = self.encode_matrix.row(target);
+            for j in 0..self.data {
+                let shard = shards[j].as_ref().expect("data rebuilt above");
+                gf256::mul_acc(&mut out, shard, row[j]);
+            }
+            shards[target] = Some(out);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_shards(d: usize, p: usize, len: usize) -> Vec<Vec<u8>> {
+        let mut shards: Vec<Vec<u8>> = (0..d)
+            .map(|i| {
+                (0..len)
+                    .map(|j| ((i * 131 + j * 17 + 5) % 256) as u8)
+                    .collect()
+            })
+            .collect();
+        shards.extend(std::iter::repeat_with(|| vec![0u8; len]).take(p));
+        shards
+    }
+
+    fn roundtrip(d: usize, p: usize, len: usize, lose: &[usize]) {
+        let rs = ReedSolomon::new(d, p).unwrap();
+        let mut shards = sample_shards(d, p, len);
+        rs.encode(&mut shards).unwrap();
+        let original = shards.clone();
+        let mut damaged: Vec<Option<Vec<u8>>> = shards.into_iter().map(Some).collect();
+        for &i in lose {
+            damaged[i] = None;
+        }
+        rs.reconstruct(&mut damaged).unwrap();
+        for (i, (got, want)) in damaged.iter().zip(&original).enumerate() {
+            assert_eq!(got.as_ref().unwrap(), want, "shard {i} (d={d} p={p})");
+        }
+    }
+
+    #[test]
+    fn systematic_encoding_keeps_data() {
+        let rs = ReedSolomon::new(3, 2).unwrap();
+        let mut shards = sample_shards(3, 2, 16);
+        let data_before: Vec<Vec<u8>> = shards[..3].to_vec();
+        rs.encode(&mut shards).unwrap();
+        assert_eq!(&shards[..3], data_before.as_slice());
+    }
+
+    #[test]
+    fn all_single_and_double_erasures() {
+        let (d, p) = (4, 2);
+        for a in 0..d + p {
+            roundtrip(d, p, 32, &[a]);
+            for b in a + 1..d + p {
+                roundtrip(d, p, 32, &[a, b]);
+            }
+        }
+    }
+
+    #[test]
+    fn wide_code_max_erasures() {
+        roundtrip(8, 4, 64, &[0, 3, 9, 11]);
+        roundtrip(8, 4, 64, &[4, 5, 6, 7]);
+        roundtrip(8, 4, 64, &[8, 9, 10, 11]);
+    }
+
+    #[test]
+    fn too_many_erasures_rejected() {
+        let rs = ReedSolomon::new(4, 2).unwrap();
+        let mut shards = sample_shards(4, 2, 8);
+        rs.encode(&mut shards).unwrap();
+        let mut damaged: Vec<Option<Vec<u8>>> = shards.into_iter().map(Some).collect();
+        damaged[0] = None;
+        damaged[1] = None;
+        damaged[2] = None;
+        assert_eq!(
+            rs.reconstruct(&mut damaged),
+            Err(ErasureError::TooManyErasures {
+                missing: 3,
+                tolerated: 2
+            })
+        );
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(ReedSolomon::new(0, 2).is_err());
+        assert!(ReedSolomon::new(2, 0).is_err());
+        assert!(ReedSolomon::new(200, 100).is_err());
+        assert!(ReedSolomon::new(255, 1).is_ok());
+    }
+
+    #[test]
+    fn shard_validation() {
+        let rs = ReedSolomon::new(2, 1).unwrap();
+        let mut wrong_count = vec![vec![0u8; 4]; 2];
+        assert!(matches!(
+            rs.encode(&mut wrong_count),
+            Err(ErasureError::WrongShardCount {
+                expected: 3,
+                got: 2
+            })
+        ));
+        let mut uneven = vec![vec![0u8; 4], vec![0u8; 5], vec![0u8; 4]];
+        assert_eq!(
+            rs.encode(&mut uneven),
+            Err(ErasureError::ShardLengthMismatch)
+        );
+    }
+
+    #[test]
+    fn reconstruct_with_nothing_missing_is_noop() {
+        let rs = ReedSolomon::new(2, 1).unwrap();
+        let mut shards = sample_shards(2, 1, 8);
+        rs.encode(&mut shards).unwrap();
+        let mut opt: Vec<Option<Vec<u8>>> = shards.iter().cloned().map(Some).collect();
+        rs.reconstruct(&mut opt).unwrap();
+        for (a, b) in opt.iter().zip(&shards) {
+            assert_eq!(a.as_ref().unwrap(), b);
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Property-based tests: every code must round-trip arbitrary data through
+//! any erasure pattern within its tolerance, and reject patterns beyond it.
+
+use proptest::prelude::*;
+use rshare_erasure::{ErasureCode, EvenOdd, MatrixCode, Rdp, ReedSolomon, XorParity};
+
+/// Runs encode → erase → reconstruct and checks equality with the original.
+fn roundtrip(code: &dyn ErasureCode, data: &[Vec<u8>], lose: &[usize]) {
+    let len = data[0].len();
+    let mut shards: Vec<Vec<u8>> = data.to_vec();
+    shards.extend(std::iter::repeat_with(|| vec![0u8; len]).take(code.parity_shards()));
+    code.encode(&mut shards).expect("encode");
+    let original = shards.clone();
+    let mut damaged: Vec<Option<Vec<u8>>> = shards.into_iter().map(Some).collect();
+    for &i in lose {
+        damaged[i] = None;
+    }
+    code.reconstruct(&mut damaged).expect("reconstruct");
+    for (i, (got, want)) in damaged.iter().zip(&original).enumerate() {
+        assert_eq!(got.as_ref().unwrap(), want, "shard {i} lose={lose:?}");
+    }
+}
+
+/// Picks `count` distinct indices below `total` from a seed.
+fn pick_erasures(total: usize, count: usize, seed: u64) -> Vec<usize> {
+    let mut indices: Vec<usize> = (0..total).collect();
+    let mut state = seed | 1;
+    let mut chosen = Vec::with_capacity(count);
+    for _ in 0..count {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let at = (state >> 33) as usize % indices.len();
+        chosen.push(indices.swap_remove(at));
+    }
+    chosen
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn reed_solomon_roundtrips(
+        d in 1usize..=10,
+        p in 1usize..=5,
+        sz in 1usize..=64,
+        seed in any::<u64>(),
+    ) {
+        let code = ReedSolomon::new(d, p).unwrap();
+        let data: Vec<Vec<u8>> = (0..d)
+            .map(|i| (0..sz).map(|j| (seed as usize + i * 31 + j * 7) as u8).collect())
+            .collect();
+        let erasures = pick_erasures(d + p, (seed as usize % (p + 1)).min(p), seed);
+        roundtrip(&code, &data, &erasures);
+    }
+
+    #[test]
+    fn xor_parity_roundtrips(
+        d in 1usize..=12,
+        sz in 1usize..=64,
+        seed in any::<u64>(),
+    ) {
+        let code = XorParity::new(d).unwrap();
+        let data: Vec<Vec<u8>> = (0..d)
+            .map(|i| (0..sz).map(|j| (seed as usize ^ (i * 131 + j)) as u8).collect())
+            .collect();
+        let lost = seed as usize % (d + 1);
+        roundtrip(&code, &data, &[lost]);
+    }
+
+    #[test]
+    fn evenodd_roundtrips(
+        p_idx in 0usize..4,
+        mult in 1usize..=8,
+        seed in any::<u64>(),
+    ) {
+        let p = [3usize, 5, 7, 11][p_idx];
+        let code = EvenOdd::new(p).unwrap();
+        let sz = (p - 1) * mult;
+        let data: Vec<Vec<u8>> = (0..p)
+            .map(|i| (0..sz).map(|j| (seed as usize + i * 17 + j * 3) as u8).collect())
+            .collect();
+        let count = seed as usize % 3; // 0, 1 or 2 erasures
+        let erasures = pick_erasures(p + 2, count, seed.rotate_left(17));
+        roundtrip(&code, &data, &erasures);
+    }
+
+    #[test]
+    fn rdp_roundtrips(
+        p_idx in 0usize..4,
+        mult in 1usize..=8,
+        seed in any::<u64>(),
+    ) {
+        let p = [3usize, 5, 7, 11][p_idx];
+        let code = Rdp::new(p).unwrap();
+        let sz = (p - 1) * mult;
+        let data: Vec<Vec<u8>> = (0..p - 1)
+            .map(|i| (0..sz).map(|j| (seed as usize ^ (i * 89 + j * 5)) as u8).collect())
+            .collect();
+        let count = seed as usize % 3;
+        let erasures = pick_erasures(p + 1, count, seed.rotate_left(29));
+        roundtrip(&code, &data, &erasures);
+    }
+
+    #[test]
+    fn matrix_rs_roundtrips(
+        d in 1usize..=8,
+        p in 1usize..=4,
+        sz in 1usize..=48,
+        seed in any::<u64>(),
+    ) {
+        let code = MatrixCode::reed_solomon(d, p).unwrap();
+        let data: Vec<Vec<u8>> = (0..d)
+            .map(|i| (0..sz).map(|j| (seed as usize + i * 41 + j * 11) as u8).collect())
+            .collect();
+        let erasures = pick_erasures(d + p, (seed as usize % (p + 1)).min(p), seed);
+        roundtrip(&code, &data, &erasures);
+    }
+
+    #[test]
+    fn lrc_guaranteed_patterns_roundtrip(
+        groups in 1usize..=3,
+        group_size in 1usize..=3,
+        global in 1usize..=2,
+        sz in 1usize..=32,
+        seed in any::<u64>(),
+    ) {
+        let code = MatrixCode::local_reconstruction(groups, group_size, global).unwrap();
+        let data: Vec<Vec<u8>> = (0..groups * group_size)
+            .map(|i| (0..sz).map(|j| (seed as usize ^ (i * 53 + j * 3)) as u8).collect())
+            .collect();
+        // Any pattern within the guarantee (global + 1 erasures) decodes.
+        let count = seed as usize % (global + 2);
+        let erasures = pick_erasures(code.total_shards(), count, seed.rotate_left(11));
+        roundtrip(&code, &data, &erasures);
+    }
+
+    #[test]
+    fn over_budget_erasures_always_rejected(
+        p_idx in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        let p = [3usize, 5, 7][p_idx];
+        let code = Rdp::new(p).unwrap();
+        let len = p - 1;
+        let mut shards: Vec<Vec<u8>> = (0..p + 1).map(|i| vec![i as u8; len]).collect();
+        code.encode(&mut shards).unwrap();
+        let mut damaged: Vec<Option<Vec<u8>>> = shards.into_iter().map(Some).collect();
+        for i in pick_erasures(p + 1, 3, seed) {
+            damaged[i] = None;
+        }
+        prop_assert!(code.reconstruct(&mut damaged).is_err());
+    }
+}

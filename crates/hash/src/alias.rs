@@ -1,0 +1,228 @@
+//! Walker/Vose alias tables for O(1) weighted sampling.
+//!
+//! The O(k) variant of Redundant Share (Section 3.3 of the paper) replaces
+//! the linear scan by precomputed "hash functions": for the first copy one
+//! weighted-selection structure over all bins, and for each following copy
+//! one structure per possible predecessor bin. We realise each such structure
+//! as an alias table, which answers a weighted draw in constant time from a
+//! single 64-bit hash value.
+
+use crate::mix::{splitmix64, unit_f64};
+
+/// An immutable alias table over `n` outcomes with fixed weights.
+///
+/// Construction is `O(n)`; sampling is `O(1)`.
+///
+/// # Example
+///
+/// ```
+/// use rshare_hash::{splitmix64, AliasTable};
+///
+/// let table = AliasTable::new(&[3.0, 1.0]).unwrap();
+/// let n = 40_000u64;
+/// let hits = (0..n).filter(|&i| table.sample_hash(splitmix64(i)) == 0).count();
+/// let share = hits as f64 / n as f64;
+/// assert!((share - 0.75).abs() < 0.02, "share = {share}");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AliasTable {
+    /// `prob[i]` is the probability of staying on column `i` (scaled to 1.0).
+    prob: Vec<f64>,
+    /// `alias[i]` is the outcome used when the coin exceeds `prob[i]`.
+    alias: Vec<u32>,
+}
+
+/// Error returned when an alias table cannot be built from the given weights.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AliasError {
+    /// The weight slice was empty.
+    Empty,
+    /// A weight was negative, NaN or infinite.
+    InvalidWeight {
+        /// Index of the offending weight.
+        index: usize,
+    },
+    /// All weights were zero.
+    ZeroTotal,
+}
+
+impl std::fmt::Display for AliasError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Empty => write!(f, "cannot build an alias table over zero outcomes"),
+            Self::InvalidWeight { index } => {
+                write!(f, "weight at index {index} is negative or non-finite")
+            }
+            Self::ZeroTotal => write!(f, "all weights are zero"),
+        }
+    }
+}
+
+impl std::error::Error for AliasError {}
+
+impl AliasTable {
+    /// Builds an alias table from non-negative weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AliasError`] if `weights` is empty, contains a negative or
+    /// non-finite value, or sums to zero.
+    pub fn new(weights: &[f64]) -> Result<Self, AliasError> {
+        if weights.is_empty() {
+            return Err(AliasError::Empty);
+        }
+        if let Some(index) = weights.iter().position(|w| !w.is_finite() || *w < 0.0) {
+            return Err(AliasError::InvalidWeight { index });
+        }
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return Err(AliasError::ZeroTotal);
+        }
+        let n = weights.len();
+        let scale = n as f64 / total;
+        let mut prob: Vec<f64> = weights.iter().map(|w| w * scale).collect();
+        let mut alias = vec![0u32; n];
+        // Vose's algorithm with explicit work lists.
+        let mut small: Vec<u32> = Vec::with_capacity(n);
+        let mut large: Vec<u32> = Vec::with_capacity(n);
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            alias[s as usize] = l;
+            let leftover = prob[l as usize] - (1.0 - prob[s as usize]);
+            prob[l as usize] = leftover;
+            if leftover < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Numerical leftovers: everything remaining keeps its own column.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i as usize] = 1.0;
+        }
+        Ok(Self { prob, alias })
+    }
+
+    /// Number of outcomes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// `true` if the table has no outcomes (never constructible; kept for
+    /// API completeness).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Approximate heap memory of the table in bytes.
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        self.prob.len() * std::mem::size_of::<f64>() + self.alias.len() * std::mem::size_of::<u32>()
+    }
+
+    /// Samples an outcome from two uniform values: `u1` picks the column,
+    /// `u2` decides between the column and its alias.
+    #[inline]
+    #[must_use]
+    pub fn sample(&self, u1: f64, u2: f64) -> usize {
+        debug_assert!((0.0..1.0).contains(&u1) && (0.0..1.0).contains(&u2));
+        let n = self.prob.len();
+        let col = ((u1 * n as f64) as usize).min(n - 1);
+        if u2 < self.prob[col] {
+            col
+        } else {
+            self.alias[col] as usize
+        }
+    }
+
+    /// Samples an outcome from a single 64-bit hash value.
+    ///
+    /// Splits the hash into column bits and coin bits; the caller supplies a
+    /// well-mixed value (e.g. from [`crate::stable_hash3`]).
+    #[inline]
+    #[must_use]
+    pub fn sample_hash(&self, hash: u64) -> usize {
+        let u1 = unit_f64(hash);
+        let u2 = unit_f64(splitmix64(hash ^ 0xA1A5_5A5A_DEAD_BEEF));
+        self.sample(u1, u2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mix::stable_hash2;
+
+    fn empirical(weights: &[f64], samples: u64) -> Vec<f64> {
+        let t = AliasTable::new(weights).unwrap();
+        let mut counts = vec![0u64; weights.len()];
+        for i in 0..samples {
+            counts[t.sample_hash(stable_hash2(i, 0x1234))] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / samples as f64).collect()
+    }
+
+    #[test]
+    fn matches_weights_uniform() {
+        let shares = empirical(&[1.0, 1.0, 1.0, 1.0], 80_000);
+        for s in shares {
+            assert!((s - 0.25).abs() < 0.01, "{s}");
+        }
+    }
+
+    #[test]
+    fn matches_weights_skewed() {
+        let shares = empirical(&[8.0, 4.0, 2.0, 1.0, 1.0], 160_000);
+        let expect = [0.5, 0.25, 0.125, 0.0625, 0.0625];
+        for (s, e) in shares.iter().zip(expect) {
+            assert!((s - e).abs() < 0.01, "share {s} vs expected {e}");
+        }
+    }
+
+    #[test]
+    fn single_outcome() {
+        let t = AliasTable::new(&[5.0]).unwrap();
+        for i in 0..100u64 {
+            assert_eq!(t.sample_hash(splitmix64(i)), 0);
+        }
+    }
+
+    #[test]
+    fn zero_weight_outcome_unreachable() {
+        let t = AliasTable::new(&[1.0, 0.0, 1.0]).unwrap();
+        for i in 0..20_000u64 {
+            assert_ne!(t.sample_hash(stable_hash2(i, 7)), 1);
+        }
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(AliasTable::new(&[]), Err(AliasError::Empty));
+        assert_eq!(
+            AliasTable::new(&[1.0, -1.0]),
+            Err(AliasError::InvalidWeight { index: 1 })
+        );
+        assert_eq!(
+            AliasTable::new(&[1.0, f64::NAN]),
+            Err(AliasError::InvalidWeight { index: 1 })
+        );
+        assert_eq!(AliasTable::new(&[0.0, 0.0]), Err(AliasError::ZeroTotal));
+    }
+
+    #[test]
+    fn display_messages() {
+        assert!(AliasError::Empty.to_string().contains("zero outcomes"));
+        assert!(AliasError::ZeroTotal.to_string().contains("zero"));
+        assert!(AliasError::InvalidWeight { index: 3 }
+            .to_string()
+            .contains("index 3"));
+    }
+}

@@ -1,0 +1,285 @@
+//! Consistent hashing (Karger et al., STOC 1997) with weighted virtual nodes.
+//!
+//! The classic adaptive k = 1 scheme the paper builds on: every bin is mapped
+//! to a number of points ("virtual nodes") on a 64-bit ring, with the number
+//! of points proportional to the bin's weight; a ball is assigned to the bin
+//! owning the first point at or after the ball's hash. Fairness holds only
+//! approximately — the deviation shrinks with the number of virtual nodes —
+//! which is exactly why the paper's analysis prefers schemes that are fair in
+//! expectation. We provide it both as a stateful ring ([`ConsistentRing`])
+//! and as a stateless [`SingleCopySelector`] adapter for use as
+//! `placeOneCopy` in ablation experiments.
+
+use crate::mix::{stable_hash2, stable_hash3};
+use crate::selector::SingleCopySelector;
+
+const RING_DOMAIN: u64 = 0x434F_4E53; // "CONS"
+const BALL_DOMAIN: u64 = 0x42_41_4C_4C; // "BALL"
+
+/// A stateful consistent-hashing ring with weighted virtual nodes.
+///
+/// # Example
+///
+/// ```
+/// use rshare_hash::ConsistentRing;
+///
+/// let mut ring = ConsistentRing::new(64);
+/// ring.insert(1, 2.0);
+/// ring.insert(2, 1.0);
+/// let owner = ring.lookup(0xabcdef).unwrap();
+/// assert!(owner == 1 || owner == 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ConsistentRing {
+    /// Ring points sorted by position: `(position, bin name)`.
+    points: Vec<(u64, u64)>,
+    /// Bin membership: `(name, weight)`.
+    bins: Vec<(u64, f64)>,
+    /// Virtual nodes granted per unit of weight.
+    vnodes_per_unit: u32,
+}
+
+impl ConsistentRing {
+    /// Creates an empty ring granting `vnodes_per_unit` virtual nodes per
+    /// unit of weight (every bin gets at least one).
+    #[must_use]
+    pub fn new(vnodes_per_unit: u32) -> Self {
+        Self {
+            points: Vec::new(),
+            bins: Vec::new(),
+            vnodes_per_unit: vnodes_per_unit.max(1),
+        }
+    }
+
+    /// Number of bins on the ring.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// `true` if the ring has no bins.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bins.is_empty()
+    }
+
+    /// Inserts a bin with the given stable `name` and `weight`, replacing
+    /// any previous bin of the same name.
+    pub fn insert(&mut self, name: u64, weight: f64) {
+        assert!(weight >= 0.0 && weight.is_finite(), "invalid weight");
+        self.remove(name);
+        let vnodes = virtual_nodes(weight, self.vnodes_per_unit);
+        for j in 0..vnodes {
+            let pos = stable_hash3(name, u64::from(j), RING_DOMAIN);
+            let at = self.points.partition_point(|&(p, _)| p < pos);
+            self.points.insert(at, (pos, name));
+        }
+        self.bins.push((name, weight));
+    }
+
+    /// Removes the bin called `name`; returns `true` if it was present.
+    pub fn remove(&mut self, name: u64) -> bool {
+        let before = self.bins.len();
+        self.bins.retain(|&(n, _)| n != name);
+        if self.bins.len() == before {
+            return false;
+        }
+        self.points.retain(|&(_, n)| n != name);
+        true
+    }
+
+    /// Returns the name of the bin owning `ball`, or `None` if the ring is
+    /// empty.
+    #[must_use]
+    pub fn lookup(&self, ball: u64) -> Option<u64> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let pos = stable_hash2(ball, BALL_DOMAIN);
+        let at = self.points.partition_point(|&(p, _)| p < pos);
+        let (_, name) = self.points[at % self.points.len()];
+        Some(name)
+    }
+}
+
+fn virtual_nodes(weight: f64, per_unit: u32) -> u32 {
+    ((weight * f64::from(per_unit)).round() as u32).max(1)
+}
+
+/// Stateless consistent hashing usable as a [`SingleCopySelector`].
+///
+/// Evaluates the ring "on the fly" for the bin set passed to each call: for
+/// every bin it derives the same virtual-node positions a
+/// [`ConsistentRing`] would contain and finds the successor of the ball's
+/// position. Cost is `O(Σ vnodes)` per call, so this adapter is intended for
+/// experiments, not hot paths.
+///
+/// Unlike the ring (whose virtual-node count per bin must stay stable
+/// across insertions and therefore scales with the *absolute* weight), the
+/// adapter normalises the weights it is handed: a bin of average weight
+/// receives `vnodes_per_unit` virtual nodes regardless of the scale the
+/// caller's weights are expressed in (block counts, bytes, …).
+///
+/// # Example
+///
+/// ```
+/// use rshare_hash::{SingleCopySelector, StatelessConsistent};
+///
+/// let sel = StatelessConsistent::new(32);
+/// let idx = sel.select(42, &[1, 2, 3], &[1.0, 1.0, 2.0]);
+/// assert!(idx < 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatelessConsistent {
+    vnodes_per_unit: u32,
+}
+
+impl StatelessConsistent {
+    /// Creates a stateless selector granting `vnodes_per_unit` virtual nodes
+    /// per unit of weight.
+    #[must_use]
+    pub fn new(vnodes_per_unit: u32) -> Self {
+        Self {
+            vnodes_per_unit: vnodes_per_unit.max(1),
+        }
+    }
+}
+
+impl SingleCopySelector for StatelessConsistent {
+    fn select(&self, key: u64, names: &[u64], weights: &[f64]) -> usize {
+        self.select_with_head(
+            key,
+            names,
+            weights,
+            *weights.first().expect("empty bin set"),
+        )
+    }
+
+    fn select_with_head(
+        &self,
+        key: u64,
+        names: &[u64],
+        weights: &[f64],
+        head_weight: f64,
+    ) -> usize {
+        assert!(!names.is_empty(), "cannot select from an empty bin set");
+        assert_eq!(names.len(), weights.len());
+        let ball_pos = stable_hash2(key, BALL_DOMAIN);
+        // Normalise so the average bin gets `vnodes_per_unit` nodes.
+        let total: f64 = head_weight + weights.iter().skip(1).sum::<f64>();
+        assert!(total > 0.0, "total weight must be positive");
+        let scale = names.len() as f64 / total;
+        // Find the virtual node with the minimal clockwise distance from the
+        // ball; ties cannot occur because positions are distinct with
+        // overwhelming probability (we break ties by bin order determinism).
+        let mut best = 0usize;
+        let mut best_dist = u64::MAX;
+        for (i, &name) in names.iter().enumerate() {
+            let w = if i == 0 { head_weight } else { weights[i] };
+            if w <= 0.0 {
+                continue;
+            }
+            let vnodes = virtual_nodes(w * scale, self.vnodes_per_unit);
+            for j in 0..vnodes {
+                let pos = stable_hash3(name, u64::from(j), RING_DOMAIN);
+                let dist = pos.wrapping_sub(ball_pos);
+                if dist < best_dist {
+                    best_dist = dist;
+                    best = i;
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_fairness_weighted() {
+        let mut ring = ConsistentRing::new(256);
+        ring.insert(1, 2.0);
+        ring.insert(2, 1.0);
+        ring.insert(3, 1.0);
+        let n = 40_000u64;
+        let mut big = 0u32;
+        for ball in 0..n {
+            if ring.lookup(ball) == Some(1) {
+                big += 1;
+            }
+        }
+        let share = f64::from(big) / n as f64;
+        // Virtual-node fairness is approximate; allow a generous band.
+        assert!((share - 0.5).abs() < 0.06, "share = {share}");
+    }
+
+    #[test]
+    fn ring_monotonicity_on_insert() {
+        // Consistent hashing's defining property: adding a bin only moves
+        // balls to the new bin.
+        let mut ring = ConsistentRing::new(64);
+        ring.insert(1, 1.0);
+        ring.insert(2, 1.0);
+        let before: Vec<Option<u64>> = (0..5_000u64).map(|b| ring.lookup(b)).collect();
+        ring.insert(3, 1.0);
+        for (ball, old) in before.iter().enumerate() {
+            let new = ring.lookup(ball as u64);
+            if new != *old {
+                assert_eq!(new, Some(3));
+            }
+        }
+    }
+
+    #[test]
+    fn ring_remove_restores() {
+        let mut ring = ConsistentRing::new(64);
+        ring.insert(1, 1.0);
+        ring.insert(2, 1.5);
+        let before: Vec<Option<u64>> = (0..2_000u64).map(|b| ring.lookup(b)).collect();
+        ring.insert(3, 1.0);
+        assert!(ring.remove(3));
+        assert!(!ring.remove(3));
+        let after: Vec<Option<u64>> = (0..2_000u64).map(|b| ring.lookup(b)).collect();
+        assert_eq!(before, after, "removal must restore the previous mapping");
+    }
+
+    #[test]
+    fn empty_ring_lookup_is_none() {
+        let ring = ConsistentRing::new(8);
+        assert!(ring.is_empty());
+        assert_eq!(ring.lookup(7), None);
+    }
+
+    #[test]
+    fn stateless_matches_stateful() {
+        // Weights summing to n are scale-invariant under the adapter's
+        // normalisation, so ring and adapter agree exactly.
+        let names = [10u64, 20, 30];
+        let weights = [0.75, 1.5, 0.75];
+        let mut ring = ConsistentRing::new(32);
+        for (&n, &w) in names.iter().zip(&weights) {
+            ring.insert(n, w);
+        }
+        let sel = StatelessConsistent::new(32);
+        for ball in 0..3_000u64 {
+            let a = ring.lookup(ball).unwrap();
+            let b = names[sel.select(ball, &names, &weights)];
+            assert_eq!(a, b, "ball {ball}");
+        }
+    }
+
+    #[test]
+    fn stateless_fairness_rough() {
+        let sel = StatelessConsistent::new(128);
+        let names = [1u64, 2];
+        let weights = [3.0, 1.0];
+        let n = 20_000u64;
+        let hits = (0..n)
+            .filter(|&b| sel.select(b, &names, &weights) == 0)
+            .count();
+        let share = hits as f64 / n as f64;
+        assert!((share - 0.75).abs() < 0.06, "share = {share}");
+    }
+}

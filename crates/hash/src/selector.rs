@@ -1,0 +1,76 @@
+//! The interface between the replication layer and fair k = 1 strategies.
+
+/// A fair single-copy distribution strategy (`placeOneCopy` in the paper).
+///
+/// Implementors map a ball (identified by a 64-bit `key`) to exactly one of
+/// `n` bins so that, over many balls, bin `i` receives a share of the balls
+/// proportional to `weights[i]`. The paper's Redundant Share strategies
+/// (Algorithms 2 and 4) delegate the placement of the *last* copy of every
+/// redundancy group to such a strategy; any fair scheme works, and the
+/// quality of the overall placement (exactness of fairness, adaptivity) is
+/// inherited from the chosen implementation.
+///
+/// # Contract
+///
+/// * **Determinism.** The same `(key, names, weights)` triple must always
+///   produce the same selection.
+/// * **Name-based hashing.** Randomness must be derived from `names[i]`
+///   (the stable bin identifier), never from the index `i`, so that slicing
+///   a suffix of the bin list — as the replication scan does — does not
+///   change decisions about the surviving bins.
+/// * **Fairness.** `P[select = i]` must equal (exactly or approximately,
+///   depending on the scheme) `weights[i] / Σ weights`.
+///
+/// # Panics
+///
+/// Implementations may panic if `names` is empty, if
+/// `names.len() != weights.len()`, or if any weight is negative or non-finite.
+pub trait SingleCopySelector {
+    /// Selects one bin index in `0..names.len()` for `key`.
+    ///
+    /// `weights[i]` is the (not necessarily normalised) demand of the bin
+    /// named `names[i]`.
+    fn select(&self, key: u64, names: &[u64], weights: &[f64]) -> usize;
+
+    /// Selects one bin with the head bin's weight overridden.
+    ///
+    /// The replication algorithms occasionally need to *favour* the first
+    /// bin of a suffix beyond its proportional share (the `b̂` adjustment of
+    /// Algorithm 3 / Equations 2–5 in the paper). `head_weight` replaces
+    /// `weights[0]` for this single decision; all other weights are used
+    /// unchanged.
+    ///
+    /// The default implementation is correct for any stateless selector.
+    fn select_with_head(
+        &self,
+        key: u64,
+        names: &[u64],
+        weights: &[f64],
+        head_weight: f64,
+    ) -> usize {
+        if weights.is_empty() || head_weight == weights[0] {
+            return self.select(key, names, weights);
+        }
+        // Fallback: materialise the adjusted weight vector. Concrete
+        // selectors override this to avoid the allocation.
+        let mut adjusted = weights.to_vec();
+        adjusted[0] = head_weight;
+        self.select(key, names, &adjusted)
+    }
+}
+
+impl<T: SingleCopySelector + ?Sized> SingleCopySelector for &T {
+    fn select(&self, key: u64, names: &[u64], weights: &[f64]) -> usize {
+        (**self).select(key, names, weights)
+    }
+
+    fn select_with_head(
+        &self,
+        key: u64,
+        names: &[u64],
+        weights: &[f64],
+        head_weight: f64,
+    ) -> usize {
+        (**self).select_with_head(key, names, weights, head_weight)
+    }
+}

@@ -1,0 +1,227 @@
+//! The Share strategy (Brinkmann, Salzwedel, Scheideler; SPAA 2002).
+//!
+//! Share reduces the *non-uniform* balls-into-bins problem to the uniform
+//! one: every bin claims an interval of the unit ring starting at a hashed
+//! position with length `s · c_i` (stretch factor `s`, relative weight
+//! `c_i`); a ball hashed to a point `u` considers all bins whose interval
+//! covers `u` and picks one of them with a uniform strategy. With
+//! `s = Θ(log N)` every point is covered with high probability and each bin
+//! receives its fair share up to a `(1 ± ε)` factor.
+//!
+//! The paper under reproduction cites Share as one of the fair k = 1
+//! strategies usable as `placeOneCopy`; this implementation exists to run
+//! that ablation (see `table_placeonecopy_ablation`).
+
+use crate::mix::{stable_hash2, stable_hash3, unit_f64, unit_open_f64};
+use crate::selector::SingleCopySelector;
+
+const START_DOMAIN: u64 = 0x5348_4152; // "SHAR"
+const POINT_DOMAIN: u64 = 0x53_50_54; // "SPT"
+const UNIFORM_DOMAIN: u64 = 0x53_554E; // "SUN"
+
+/// Error returned by [`Share::new`] for an invalid stretch factor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShareError;
+
+impl std::fmt::Display for ShareError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "stretch factor must be finite and >= 1")
+    }
+}
+
+impl std::error::Error for ShareError {}
+
+/// The Share distributor: interval stretching plus a uniform sub-strategy.
+///
+/// Fairness is approximate (within a few percent for the default stretch);
+/// the crate-default [`crate::Rendezvous`] should be preferred when exact
+/// expected fairness matters.
+///
+/// # Example
+///
+/// ```
+/// use rshare_hash::{Share, SingleCopySelector};
+///
+/// let share = Share::new(8.0).unwrap();
+/// let idx = share.select(99, &[1, 2, 3], &[1.0, 2.0, 3.0]);
+/// assert!(idx < 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Share {
+    stretch: f64,
+}
+
+impl Share {
+    /// Creates a Share selector with the given stretch factor `s >= 1`.
+    ///
+    /// The SPAA 2002 analysis uses `s = Θ(log N)`; stretch 6–10 is plenty
+    /// for the system sizes of the ICDCS 2007 experiments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShareError`] if `stretch` is not finite or is below 1.
+    pub fn new(stretch: f64) -> Result<Self, ShareError> {
+        if !stretch.is_finite() || stretch < 1.0 {
+            return Err(ShareError);
+        }
+        Ok(Self { stretch })
+    }
+
+    /// The configured stretch factor.
+    #[must_use]
+    pub fn stretch(&self) -> f64 {
+        self.stretch
+    }
+
+    /// `true` if bin `name` with relative weight `rel` covers ring point `u`.
+    fn covers(&self, name: u64, rel: f64, u: f64) -> bool {
+        let len = (self.stretch * rel).min(1.0);
+        if len >= 1.0 {
+            return true;
+        }
+        let start = unit_f64(stable_hash2(name, START_DOMAIN));
+        let end = start + len;
+        if end <= 1.0 {
+            u >= start && u < end
+        } else {
+            u >= start || u < end - 1.0
+        }
+    }
+}
+
+impl SingleCopySelector for Share {
+    fn select(&self, key: u64, names: &[u64], weights: &[f64]) -> usize {
+        self.select_with_head(
+            key,
+            names,
+            weights,
+            *weights.first().expect("empty bin set"),
+        )
+    }
+
+    fn select_with_head(
+        &self,
+        key: u64,
+        names: &[u64],
+        weights: &[f64],
+        head_weight: f64,
+    ) -> usize {
+        assert!(!names.is_empty(), "cannot select from an empty bin set");
+        assert_eq!(names.len(), weights.len());
+        let total: f64 = head_weight + weights.iter().skip(1).sum::<f64>();
+        assert!(total > 0.0, "total weight must be positive");
+        let u = unit_f64(stable_hash2(key, POINT_DOMAIN));
+        // Uniform sub-strategy among covering bins: unweighted rendezvous
+        // (minimum exponential score with rate 1).
+        let mut best: Option<(usize, f64)> = None;
+        for (i, &name) in names.iter().enumerate() {
+            let w = if i == 0 { head_weight } else { weights[i] };
+            if w <= 0.0 || !self.covers(name, w / total, u) {
+                continue;
+            }
+            let score = -unit_open_f64(stable_hash3(key, name, UNIFORM_DOMAIN)).ln();
+            if best.is_none_or(|(_, s)| score < s) {
+                best = Some((i, score));
+            }
+        }
+        if let Some((i, _)) = best {
+            return i;
+        }
+        // With stretch >= 1 an uncovered point is rare but possible; fall
+        // back to a weighted rendezvous decision so fairness degrades
+        // gracefully instead of panicking.
+        let mut best = 0usize;
+        let mut best_score = f64::INFINITY;
+        for (i, &name) in names.iter().enumerate() {
+            let w = if i == 0 { head_weight } else { weights[i] };
+            if w <= 0.0 {
+                continue;
+            }
+            let score = -unit_open_f64(stable_hash3(key, name, UNIFORM_DOMAIN ^ 1)).ln() / w;
+            if score < best_score {
+                best = i;
+                best_score = score;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stretch_validation() {
+        assert!(Share::new(0.5).is_err());
+        assert!(Share::new(f64::NAN).is_err());
+        assert!(Share::new(f64::INFINITY).is_err());
+        assert_eq!(Share::new(6.0).unwrap().stretch(), 6.0);
+    }
+
+    #[test]
+    fn fairness_approximate() {
+        let share = Share::new(8.0).unwrap();
+        let names: Vec<u64> = (0..8).collect();
+        let weights: Vec<f64> = (0..8).map(|i| 1.0 + i as f64 * 0.5).collect();
+        let total: f64 = weights.iter().sum();
+        let n = 60_000u64;
+        let mut counts = vec![0u32; names.len()];
+        for ball in 0..n {
+            counts[share.select(ball, &names, &weights)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let got = f64::from(c) / n as f64;
+            let want = weights[i] / total;
+            assert!(
+                (got - want).abs() < 0.05,
+                "bin {i}: got {got:.4}, want {want:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let share = Share::new(6.0).unwrap();
+        let names = [3u64, 1, 4, 1_5];
+        let weights = [1.0, 2.0, 3.0, 4.0];
+        for ball in 0..500u64 {
+            assert_eq!(
+                share.select(ball, &names, &weights),
+                share.select(ball, &names, &weights)
+            );
+        }
+    }
+
+    #[test]
+    fn single_bin_always_selected() {
+        let share = Share::new(4.0).unwrap();
+        for ball in 0..200u64 {
+            assert_eq!(share.select(ball, &[42], &[1.0]), 0);
+        }
+    }
+
+    #[test]
+    fn suffix_stability_of_names() {
+        // Decisions must depend on names, not positions: a bin that wins in
+        // a larger list should usually still win in a suffix containing it.
+        let share = Share::new(8.0).unwrap();
+        let names = [1u64, 2, 3, 4];
+        let weights = [1.0, 1.0, 1.0, 1.0];
+        let mut stable = 0u32;
+        let mut applicable = 0u32;
+        for ball in 0..5_000u64 {
+            let full = share.select(ball, &names, &weights);
+            if full >= 1 {
+                applicable += 1;
+                let sub = share.select(ball, &names[1..], &weights[1..]);
+                if sub == full - 1 {
+                    stable += 1;
+                }
+            }
+        }
+        // Removing one bin should leave the vast majority of survivor
+        // placements unchanged.
+        assert!(f64::from(stable) / f64::from(applicable) > 0.9);
+    }
+}

@@ -1,0 +1,317 @@
+//! Weighted distributed hash tables: the linear and logarithmic methods
+//! (Schindelhauer & Schomaker, SPAA 2005).
+//!
+//! Reference \[11\] of the paper proposes two geometric single-copy schemes
+//! for heterogeneous capacities, both of the form "hash ball and bins onto
+//! the unit ring, assign the ball to the bin minimising a weighted
+//! distance":
+//!
+//! * **linear method** — distance `d(ball, bin) / w_bin` with `d` the
+//!   clockwise ring distance. Even in expectation over the (hashed) bin
+//!   positions, the winner distribution of scaled uniforms is *not*
+//!   proportional to the weights — the distortion reference \[11\]
+//!   quantifies.
+//! * **logarithmic method** — distance `−ln(1 − d(ball, bin)) / w_bin`.
+//!   Over the randomness of the bin positions the transformed distances
+//!   are independent exponentials with rates `w_i`, whose minimum falls on
+//!   bin `i` with probability exactly `w_i / Σ w_j` (the same engine as
+//!   weighted rendezvous hashing, but compatible with ring routing).
+//!
+//! For any *fixed* set of bin positions the realised shares deviate from
+//! expectation — the classic consistent-hashing concentration problem —
+//! so both methods support multiple ring points per bin
+//! ([`LinearMethod::with_points`]): the score is the minimum over the
+//! bin's points, which concentrates the per-instance shares around the
+//! expected ones (and leaves the logarithmic method's expectation exact,
+//! since the minimum of `v` exponentials of rate `w` is exponential of
+//! rate `v·w`).
+//!
+//! Both are stateless [`SingleCopySelector`]s here, used as ablation
+//! points for the `placeOneCopy` subroutine.
+
+use crate::mix::{stable_hash2, stable_hash3, unit_f64};
+use crate::selector::SingleCopySelector;
+
+const RING_POS_DOMAIN: u64 = 0x5744_4854; // "WDHT"
+const BALL_POS_DOMAIN: u64 = 0x5744_4254; // "WDBT"
+
+/// Clockwise distance from the ball's ring position to point `j` of the
+/// bin `name`, in `[0, 1)`.
+fn ring_distance(key: u64, name: u64, point: u32) -> f64 {
+    let ball = stable_hash2(key, BALL_POS_DOMAIN);
+    let bin = stable_hash3(name, u64::from(point), RING_POS_DOMAIN);
+    unit_f64(bin.wrapping_sub(ball))
+}
+
+macro_rules! weighted_dht_method {
+    ($(#[$meta:meta])* $name:ident, $transform:expr) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        pub struct $name {
+            points: u32,
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                Self { points: 1 }
+            }
+        }
+
+        impl $name {
+            /// Creates the selector with a single ring point per bin (the
+            /// form analysed in reference \[11\]).
+            #[must_use]
+            pub fn new() -> Self {
+                Self::default()
+            }
+
+            /// Creates the selector with `points ≥ 1` ring points per bin;
+            /// more points concentrate per-instance shares around the
+            /// expected distribution.
+            #[must_use]
+            pub fn with_points(points: u32) -> Self {
+                Self {
+                    points: points.max(1),
+                }
+            }
+
+            /// The configured number of ring points per bin.
+            #[must_use]
+            pub fn points(&self) -> u32 {
+                self.points
+            }
+
+            fn score(&self, key: u64, name: u64, weight: f64) -> f64 {
+                let mut best = f64::INFINITY;
+                for j in 0..self.points {
+                    let d = ring_distance(key, name, j);
+                    let transformed = $transform(d);
+                    let s = transformed / weight;
+                    if s < best {
+                        best = s;
+                    }
+                }
+                best
+            }
+        }
+
+        impl SingleCopySelector for $name {
+            fn select(&self, key: u64, names: &[u64], weights: &[f64]) -> usize {
+                self.select_with_head(
+                    key,
+                    names,
+                    weights,
+                    *weights.first().expect("empty bin set"),
+                )
+            }
+
+            fn select_with_head(
+                &self,
+                key: u64,
+                names: &[u64],
+                weights: &[f64],
+                head_weight: f64,
+            ) -> usize {
+                assert!(!names.is_empty(), "cannot select from an empty bin set");
+                assert_eq!(names.len(), weights.len());
+                let mut best = 0usize;
+                let mut best_score = f64::INFINITY;
+                for (i, &name) in names.iter().enumerate() {
+                    let w = if i == 0 { head_weight } else { weights[i] };
+                    if w <= 0.0 {
+                        continue;
+                    }
+                    let s = self.score(key, name, w);
+                    if s < best_score {
+                        best = i;
+                        best_score = s;
+                    }
+                }
+                best
+            }
+        }
+    };
+}
+
+weighted_dht_method!(
+    /// The linear method: minimise `ring distance / weight`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use rshare_hash::{LinearMethod, SingleCopySelector};
+    ///
+    /// let sel = LinearMethod::with_points(32);
+    /// assert!(sel.select(42, &[1, 2, 3], &[1.0, 2.0, 3.0]) < 3);
+    /// ```
+    LinearMethod,
+    |d: f64| d
+);
+
+weighted_dht_method!(
+    /// The logarithmic method: minimise `−ln(1 − ring distance) / weight`.
+    ///
+    /// Exactly fair in expectation over the bin-position hashing.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use rshare_hash::{LogarithmicMethod, SingleCopySelector};
+    ///
+    /// let sel = LogarithmicMethod::with_points(32);
+    /// assert!(sel.select(42, &[1, 2, 3], &[1.0, 2.0, 3.0]) < 3);
+    /// ```
+    LogarithmicMethod,
+    |d: f64| -(1.0f64 - d).max(f64::MIN_POSITIVE).ln()
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shares<S: SingleCopySelector>(
+        sel: &S,
+        names: &[u64],
+        weights: &[f64],
+        balls: u64,
+    ) -> Vec<f64> {
+        let mut counts = vec![0u64; weights.len()];
+        for ball in 0..balls {
+            counts[sel.select(ball, names, weights)] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / balls as f64).collect()
+    }
+
+    /// Average shares over many independent bin-name sets: the expectation
+    /// over the position hashing.
+    fn expected_shares<S: SingleCopySelector>(
+        sel: &S,
+        weights: &[f64],
+        sets: u64,
+        balls: u64,
+    ) -> Vec<f64> {
+        let mut acc = vec![0.0; weights.len()];
+        for set in 0..sets {
+            let names: Vec<u64> = (0..weights.len() as u64)
+                .map(|i| crate::mix::stable_hash2(set, i))
+                .collect();
+            for (a, s) in acc.iter_mut().zip(shares(sel, &names, weights, balls)) {
+                *a += s;
+            }
+        }
+        acc.iter_mut().for_each(|a| *a /= sets as f64);
+        acc
+    }
+
+    #[test]
+    fn logarithmic_fair_with_many_points() {
+        let weights = [4.0, 2.0, 1.0, 1.0];
+        let names = [101u64, 102, 103, 104];
+        let total: f64 = weights.iter().sum();
+        let got = shares(
+            &LogarithmicMethod::with_points(256),
+            &names,
+            &weights,
+            40_000,
+        );
+        for (i, (g, w)) in got.iter().zip(&weights).enumerate() {
+            let want = w / total;
+            // Residual per-instance variance shrinks like 1/√points; 256
+            // points leaves a band of roughly ±12 % on the small bins.
+            assert!(
+                (g - want).abs() / want < 0.15,
+                "bin {i}: got {g:.4} want {want:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn logarithmic_exact_in_expectation_single_point() {
+        let weights = [3.0, 1.0];
+        let got = expected_shares(&LogarithmicMethod::new(), &weights, 60, 4_000);
+        assert!((got[0] - 0.75).abs() < 0.02, "expected share {:.4}", got[0]);
+    }
+
+    #[test]
+    fn linear_biased_in_expectation_single_point() {
+        // The linear method's documented distortion: for weights (3, 1),
+        // P[heavy wins] = ∫ P[d1/3 < d2] = E[min(3 d2, 1)]…  < 3/4 exact?
+        // Analytically P[heavy] = 1 − E[d1/3 ≥ d2] = 1 − 1/6 = 5/6 ≈ 0.833,
+        // not 0.75 — strictly above the fair share.
+        let weights = [3.0, 1.0];
+        let lin = expected_shares(&LinearMethod::new(), &weights, 60, 4_000);
+        assert!(
+            lin[0] > 0.80,
+            "linear method should over-serve the heavy bin: {:.4}",
+            lin[0]
+        );
+        let log = expected_shares(&LogarithmicMethod::new(), &weights, 60, 4_000);
+        assert!(
+            (log[0] - 0.75).abs() < (lin[0] - 0.75).abs(),
+            "log {:.4} should beat linear {:.4}",
+            log[0],
+            lin[0]
+        );
+    }
+
+    #[test]
+    fn more_points_concentrate_shares() {
+        // With one point per bin the realised shares scatter; with many
+        // they concentrate near the target.
+        let weights = [1.0; 8];
+        let names: Vec<u64> = (0..8u64).map(|i| 7_000 + i).collect();
+        let spread = |points: u32| {
+            let got = shares(
+                &LogarithmicMethod::with_points(points),
+                &names,
+                &weights,
+                30_000,
+            );
+            got.iter()
+                .map(|g| (g - 0.125f64).abs())
+                .fold(0.0f64, f64::max)
+        };
+        let coarse = spread(1);
+        let fine = spread(128);
+        assert!(
+            fine < coarse / 2.0,
+            "128 points (dev {fine:.4}) should beat 1 point (dev {coarse:.4})"
+        );
+    }
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let names = [5u64, 6, 7];
+        let weights = [1.0, 2.0, 3.0];
+        for ball in 0..300u64 {
+            let a = LinearMethod::with_points(4).select(ball, &names, &weights);
+            let b = LogarithmicMethod::with_points(4).select(ball, &names, &weights);
+            assert!(a < 3 && b < 3);
+            assert_eq!(
+                a,
+                LinearMethod::with_points(4).select(ball, &names, &weights)
+            );
+            assert_eq!(
+                b,
+                LogarithmicMethod::with_points(4).select(ball, &names, &weights)
+            );
+        }
+    }
+
+    #[test]
+    fn removal_moves_only_owned_balls() {
+        // Scores are per-bin: removing a bin cannot change the relative
+        // order of the survivors.
+        let sel = LogarithmicMethod::with_points(8);
+        let names = [1u64, 2, 3, 4];
+        let weights = [1.0, 2.0, 3.0, 4.0];
+        for ball in 0..5_000u64 {
+            let full = sel.select(ball, &names, &weights);
+            if full == 0 {
+                continue;
+            }
+            let sub = sel.select(ball, &names[1..], &weights[1..]);
+            assert_eq!(sub, full - 1, "survivor placement changed for {ball}");
+        }
+    }
+}

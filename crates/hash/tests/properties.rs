@@ -1,0 +1,97 @@
+//! Property-based tests of the single-copy selector contract.
+//!
+//! Every selector in the crate must honour the [`SingleCopySelector`]
+//! contract over arbitrary bin sets: results in range, determinism,
+//! name-based (not position-based) decisions, and sane zero-weight
+//! handling.
+
+use proptest::prelude::*;
+use rshare_hash::{
+    LinearMethod, LogarithmicMethod, Rendezvous, Share, Sieve, SingleCopySelector,
+    StatelessConsistent,
+};
+
+fn selectors() -> Vec<(&'static str, Box<dyn SingleCopySelector>)> {
+    vec![
+        ("rendezvous", Box::new(Rendezvous::new())),
+        ("share", Box::new(Share::new(6.0).unwrap())),
+        ("consistent", Box::new(StatelessConsistent::new(16))),
+        ("sieve", Box::new(Sieve::default())),
+        ("linear", Box::new(LinearMethod::with_points(4))),
+        ("logarithmic", Box::new(LogarithmicMethod::with_points(4))),
+    ]
+}
+
+/// Arbitrary bin sets: unique names, positive weights.
+fn bins() -> impl Strategy<Value = (Vec<u64>, Vec<f64>)> {
+    prop::collection::btree_set(any::<u64>(), 1..=10).prop_flat_map(|names| {
+        let names: Vec<u64> = names.into_iter().collect();
+        let n = names.len();
+        (Just(names), prop::collection::vec(0.01f64..100.0, n..=n))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn in_range_and_deterministic((names, weights) in bins(), key in any::<u64>()) {
+        for (label, sel) in selectors() {
+            let a = sel.select(key, &names, &weights);
+            prop_assert!(a < names.len(), "{label}: out of range");
+            let b = sel.select(key, &names, &weights);
+            prop_assert_eq!(a, b, "{} not deterministic", label);
+        }
+    }
+
+    #[test]
+    fn decisions_are_name_based((names, weights) in bins(), key in any::<u64>()) {
+        // Removing a non-winning bin must not move the ball for selectors
+        // whose scores are independent per bin (rendezvous, linear, log).
+        prop_assume!(names.len() >= 2);
+        let independent: Vec<(&str, Box<dyn SingleCopySelector>)> = vec![
+            ("rendezvous", Box::new(Rendezvous::new())),
+            ("linear", Box::new(LinearMethod::with_points(4))),
+            ("logarithmic", Box::new(LogarithmicMethod::with_points(4))),
+        ];
+        for (label, sel) in independent {
+            let winner = sel.select(key, &names, &weights);
+            // Drop some non-winner.
+            let drop = (winner + 1) % names.len();
+            let mut names2 = names.clone();
+            let mut weights2 = weights.clone();
+            names2.remove(drop);
+            weights2.remove(drop);
+            let winner2 = sel.select(key, &names2, &weights2);
+            let expected = if winner > drop { winner - 1 } else { winner };
+            prop_assert_eq!(
+                winner2, expected,
+                "{}: dropping a loser moved the ball", label
+            );
+        }
+    }
+
+    #[test]
+    fn zero_weight_bins_never_win(
+        (names, mut weights) in bins(),
+        key in any::<u64>(),
+        zero_at in any::<prop::sample::Index>(),
+    ) {
+        prop_assume!(names.len() >= 2);
+        let z = zero_at.index(names.len());
+        weights[z] = 0.0;
+        for (label, sel) in selectors() {
+            let winner = sel.select(key, &names, &weights);
+            prop_assert_ne!(winner, z, "{} chose a zero-weight bin", label);
+        }
+    }
+
+    #[test]
+    fn head_override_default_matches_select((names, weights) in bins(), key in any::<u64>()) {
+        for (label, sel) in selectors() {
+            let a = sel.select(key, &names, &weights);
+            let b = sel.select_with_head(key, &names, &weights, weights[0]);
+            prop_assert_eq!(a, b, "{}: head override with identity weight diverged", label);
+        }
+    }
+}

@@ -1,0 +1,1401 @@
+//! The virtualized storage cluster: placement-driven block storage with
+//! migration, failure and rebuild.
+//!
+//! This is the "randomized block-level storage virtualization" of the
+//! paper's abstract: a pool of heterogeneous devices presented as a single
+//! block store. Every logical block is expanded into a redundancy group
+//! (mirror copies or erasure shards) and shard `i` is stored on the i-th
+//! device returned by the Redundant Share placement strategy — no
+//! allocation tables, so the mapping is recomputable by anyone who knows
+//! the device list.
+//!
+//! Membership changes rebuild the strategy and migrate exactly the shards
+//! whose computed location changed; the adaptivity results of the paper
+//! (Lemmas 3.2–3.5) bound that migration volume, and [`MigrationReport`]
+//! measures it.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use rshare_core::{Bin, BinSet, PlacementStrategy, RedundantShare};
+use rshare_erasure::ErasureCode;
+
+use crate::device::{Device, DeviceState};
+use crate::error::VdsError;
+use crate::profile::DeviceProfile;
+use crate::redundancy::Redundancy;
+
+/// Domain separator for the per-block read-copy rotation.
+const READ_BALANCE_DOMAIN: u64 = 0x5245_4144; // "READ"
+
+/// Outcome of a data migration triggered by a membership change.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MigrationReport {
+    /// Logical blocks examined.
+    pub blocks: u64,
+    /// Total shards examined (`blocks × total_shards`).
+    pub shards_total: u64,
+    /// Shards whose device changed and were copied.
+    pub shards_moved: u64,
+    /// Shards that had to be reconstructed from redundancy because their
+    /// source device was gone.
+    pub shards_reconstructed: u64,
+}
+
+impl MigrationReport {
+    /// The fraction of shards moved — the quantity the paper's
+    /// competitiveness results bound.
+    #[must_use]
+    pub fn moved_fraction(&self) -> f64 {
+        if self.shards_total == 0 {
+            0.0
+        } else {
+            self.shards_moved as f64 / self.shards_total as f64
+        }
+    }
+}
+
+/// One shard relocation in a migration dry-run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardMove {
+    /// Logical block address of the redundancy group.
+    pub lba: u64,
+    /// Copy / shard index within the group.
+    pub copy: usize,
+    /// Device currently computed to hold the shard.
+    pub from: u64,
+    /// Device that will hold it after the change.
+    pub to: u64,
+}
+
+/// A dry-run migration plan: what a membership change *would* move.
+///
+/// Produced by [`StorageCluster::plan_add_device`] and
+/// [`StorageCluster::plan_remove_device`] without touching any data, so
+/// operators can inspect the migration volume (and per-device inflow)
+/// before committing to a change.
+#[derive(Debug, Clone, Default)]
+pub struct MigrationPlan {
+    /// Every shard that would change devices.
+    pub moves: Vec<ShardMove>,
+    /// Total shards examined.
+    pub shards_total: u64,
+}
+
+impl MigrationPlan {
+    /// Fraction of all shards that would move.
+    #[must_use]
+    pub fn moved_fraction(&self) -> f64 {
+        if self.shards_total == 0 {
+            0.0
+        } else {
+            self.moves.len() as f64 / self.shards_total as f64
+        }
+    }
+
+    /// Bytes-free view: shards flowing *into* each device, as
+    /// `(device, count)` sorted by device id.
+    #[must_use]
+    pub fn inflow_per_device(&self) -> Vec<(u64, u64)> {
+        let mut map = BTreeMap::new();
+        for mv in &self.moves {
+            *map.entry(mv.to).or_insert(0u64) += 1;
+        }
+        map.into_iter().collect()
+    }
+}
+
+/// Builder for a [`StorageCluster`].
+///
+/// # Example
+///
+/// ```
+/// use rshare_vds::{Redundancy, StorageCluster};
+///
+/// let cluster = StorageCluster::builder()
+///     .block_size(64)
+///     .redundancy(Redundancy::Mirror { copies: 2 })
+///     .device(0, 1_000)
+///     .device(1, 2_000)
+///     .build()
+///     .unwrap();
+/// assert_eq!(cluster.device_ids(), vec![0, 1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClusterBuilder {
+    block_size: usize,
+    redundancy: Redundancy,
+    devices: Vec<(u64, u64, DeviceProfile)>,
+}
+
+impl ClusterBuilder {
+    /// Sets the logical block size in bytes (default 4096).
+    #[must_use]
+    pub fn block_size(mut self, bytes: usize) -> Self {
+        self.block_size = bytes;
+        self
+    }
+
+    /// Sets the redundancy scheme (default 2-way mirroring).
+    #[must_use]
+    pub fn redundancy(mut self, redundancy: Redundancy) -> Self {
+        self.redundancy = redundancy;
+        self
+    }
+
+    /// Adds a device with the given id and capacity in shard blocks,
+    /// using the default ([`DeviceProfile::SSD`]) performance profile.
+    #[must_use]
+    pub fn device(self, id: u64, capacity_blocks: u64) -> Self {
+        self.device_with_profile(id, capacity_blocks, DeviceProfile::default())
+    }
+
+    /// Adds a device with an explicit performance profile for simulated
+    /// I/O timing.
+    #[must_use]
+    pub fn device_with_profile(
+        mut self,
+        id: u64,
+        capacity_blocks: u64,
+        profile: DeviceProfile,
+    ) -> Self {
+        self.devices.push((id, capacity_blocks, profile));
+        self
+    }
+
+    /// Builds the cluster.
+    ///
+    /// # Errors
+    ///
+    /// * [`VdsError::InvalidConfig`] for a zero block size, a block size
+    ///   incompatible with the erasure geometry, or duplicate device ids.
+    /// * [`VdsError::Placement`] if fewer devices than shards exist.
+    pub fn build(self) -> Result<StorageCluster, VdsError> {
+        if self.block_size == 0 {
+            return Err(VdsError::InvalidConfig {
+                reason: "block size must be positive",
+            });
+        }
+        let codec = self.redundancy.codec()?;
+        let multiple = self.redundancy.block_multiple(codec.as_deref());
+        if !self.block_size.is_multiple_of(multiple) {
+            return Err(VdsError::InvalidConfig {
+                reason: "block size must be divisible by the erasure geometry (data shards × symbol rows)",
+            });
+        }
+        let mut devices = BTreeMap::new();
+        for (id, cap, profile) in &self.devices {
+            if devices
+                .insert(*id, Device::with_profile(*id, *cap, *profile))
+                .is_some()
+            {
+                return Err(VdsError::InvalidConfig {
+                    reason: "duplicate device id",
+                });
+            }
+        }
+        let mut cluster = StorageCluster {
+            devices,
+            redundancy: self.redundancy,
+            codec,
+            strategy: None,
+            block_size: self.block_size,
+            blocks: BTreeSet::new(),
+            pending: None,
+        };
+        cluster.strategy = Some(cluster.build_strategy()?);
+        Ok(cluster)
+    }
+}
+
+/// A pool of storage devices virtualized into one redundant block store.
+pub struct StorageCluster {
+    devices: BTreeMap<u64, Device>,
+    redundancy: Redundancy,
+    codec: Option<Box<dyn ErasureCode>>,
+    strategy: Option<RedundantShare>,
+    block_size: usize,
+    /// Logical block addresses that have been written.
+    blocks: BTreeSet<u64>,
+    /// In-flight lazy migration, if any.
+    pending: Option<PendingMigration>,
+}
+
+/// State of an in-flight lazy migration.
+struct PendingMigration {
+    /// The placement in force for blocks not yet migrated.
+    old_strategy: RedundantShare,
+    /// Blocks whose shards still live at their old locations.
+    remaining: BTreeSet<u64>,
+}
+
+impl std::fmt::Debug for StorageCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StorageCluster")
+            .field("devices", &self.devices.len())
+            .field("redundancy", &self.redundancy)
+            .field("block_size", &self.block_size)
+            .field("blocks", &self.blocks.len())
+            .finish()
+    }
+}
+
+impl StorageCluster {
+    /// Starts building a cluster.
+    #[must_use]
+    pub fn builder() -> ClusterBuilder {
+        ClusterBuilder {
+            block_size: 4096,
+            redundancy: Redundancy::Mirror { copies: 2 },
+            devices: Vec::new(),
+        }
+    }
+
+    /// The configured logical block size in bytes.
+    #[must_use]
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// The configured redundancy scheme.
+    #[must_use]
+    pub fn redundancy(&self) -> Redundancy {
+        self.redundancy
+    }
+
+    /// Ids of all devices (online and failed), ascending.
+    #[must_use]
+    pub fn device_ids(&self) -> Vec<u64> {
+        self.devices.keys().copied().collect()
+    }
+
+    /// Read access to a device (for statistics and inspection).
+    #[must_use]
+    pub fn device(&self, id: u64) -> Option<&Device> {
+        self.devices.get(&id)
+    }
+
+    /// Number of logical blocks stored.
+    #[must_use]
+    pub fn block_count(&self) -> u64 {
+        self.blocks.len() as u64
+    }
+
+    fn strategy(&self) -> &RedundantShare {
+        self.strategy.as_ref().expect("strategy always present")
+    }
+
+    /// Builds a placement strategy over the online devices, weighted by
+    /// their capacities.
+    fn build_strategy(&self) -> Result<RedundantShare, VdsError> {
+        let bins = self
+            .devices
+            .values()
+            .filter(|d| d.state() == DeviceState::Online)
+            .map(|d| Bin::new(d.id(), d.capacity_blocks()))
+            .collect::<Result<Vec<_>, _>>()?;
+        let set = BinSet::new(bins)?;
+        Ok(RedundantShare::new(&set, self.redundancy.total_shards())?)
+    }
+
+    /// The device ids shard 0, 1, … of `lba` are placed on.
+    ///
+    /// During a lazy migration this is the *effective* placement: blocks
+    /// not yet migrated still resolve to their pre-change locations.
+    #[must_use]
+    pub fn placement(&self, lba: u64) -> Vec<u64> {
+        let strategy = match &self.pending {
+            Some(p) if p.remaining.contains(&lba) => &p.old_strategy,
+            _ => self.strategy(),
+        };
+        strategy.place(lba).into_iter().map(|id| id.raw()).collect()
+    }
+
+    /// The placement under the *target* (post-migration) configuration.
+    fn target_placement(&self, lba: u64) -> Vec<u64> {
+        self.strategy()
+            .place(lba)
+            .into_iter()
+            .map(|id| id.raw())
+            .collect()
+    }
+
+    /// Writes one logical block.
+    ///
+    /// # Errors
+    ///
+    /// * [`VdsError::WrongBlockSize`] if `data` is not exactly one block.
+    /// * [`VdsError::OutOfSpace`] / [`VdsError::DeviceFailed`] from the
+    ///   target devices.
+    pub fn write_block(&mut self, lba: u64, data: &[u8]) -> Result<(), VdsError> {
+        if data.len() != self.block_size {
+            return Err(VdsError::WrongBlockSize {
+                expected: self.block_size,
+                got: data.len(),
+            });
+        }
+        let shards = self.redundancy.encode_block(data, self.codec.as_deref())?;
+        // Writes always land at the target placement; if the block was
+        // awaiting lazy migration, the overwrite completes it for free.
+        let old_placement = match &mut self.pending {
+            Some(p) => {
+                if p.remaining.remove(&lba) {
+                    Some(
+                        p.old_strategy
+                            .place(lba)
+                            .into_iter()
+                            .map(|id| id.raw())
+                            .collect::<Vec<u64>>(),
+                    )
+                } else {
+                    None
+                }
+            }
+            None => None,
+        };
+        let placement = self.target_placement(lba);
+        for (i, (shard, dev_id)) in shards.into_iter().zip(&placement).enumerate() {
+            let device = self
+                .devices
+                .get_mut(dev_id)
+                .ok_or(VdsError::UnknownDevice { id: *dev_id })?;
+            device.store((lba, i), shard)?;
+        }
+        if let Some(old) = old_placement {
+            for (i, dev_id) in old.iter().enumerate() {
+                if *dev_id != placement[i] {
+                    if let Some(d) = self.devices.get_mut(dev_id) {
+                        d.remove(&(lba, i));
+                    }
+                }
+            }
+        }
+        self.blocks.insert(lba);
+        Ok(())
+    }
+
+    /// Reads one logical block, touching as few devices as possible:
+    /// mirrored blocks read a single copy (rotated over the copies so read
+    /// load follows capacity — the paper's "x% of the requests" fairness),
+    /// erasure-coded blocks read only the data shards. Missing shards
+    /// degrade transparently to reconstruction.
+    ///
+    /// # Errors
+    ///
+    /// * [`VdsError::BlockNotFound`] if the block was never written.
+    /// * [`VdsError::DataLoss`] if too many shards are gone.
+    #[allow(clippy::needless_range_loop)] // shard index is also the copy identity
+    pub fn read_block(&mut self, lba: u64) -> Result<Vec<u8>, VdsError> {
+        if !self.blocks.contains(&lba) {
+            return Err(VdsError::BlockNotFound { lba });
+        }
+        let placement = self.placement(lba);
+        let k = placement.len();
+        match self.redundancy {
+            Redundancy::Mirror { .. } => {
+                // Deterministic per-block copy preference: each block pins
+                // a copy index, so over many blocks every bin serves reads
+                // in proportion to the copies it holds (∝ capacity).
+                let preferred =
+                    (rshare_hash::stable_hash2(lba, READ_BALANCE_DOMAIN) % k as u64) as usize;
+                for step in 0..k {
+                    let i = (preferred + step) % k;
+                    if let Some(data) = self
+                        .devices
+                        .get_mut(&placement[i])
+                        .and_then(|d| d.load(&(lba, i)))
+                    {
+                        return Ok(data);
+                    }
+                }
+                Err(VdsError::DataLoss { lba })
+            }
+            _ => {
+                let codec = self.codec.as_deref().expect("erasure codec");
+                let d = codec.data_shards();
+                // Fast path: all data shards present.
+                let mut shards: Vec<Option<Vec<u8>>> = (0..d)
+                    .map(|i| {
+                        self.devices
+                            .get_mut(&placement[i])
+                            .and_then(|dev| dev.load(&(lba, i)))
+                    })
+                    .collect();
+                if shards.iter().all(Option::is_some) {
+                    let mut block = Vec::with_capacity(self.block_size);
+                    for shard in shards.into_iter().flatten() {
+                        block.extend_from_slice(&shard);
+                    }
+                    return Ok(block);
+                }
+                // Degraded read: pull parity shards and reconstruct.
+                for i in d..k {
+                    shards.push(
+                        self.devices
+                            .get_mut(&placement[i])
+                            .and_then(|dev| dev.load(&(lba, i))),
+                    );
+                }
+                self.redundancy
+                    .decode_block(shards, self.codec.as_deref(), lba)
+            }
+        }
+    }
+
+    /// Adds a device and migrates the shards whose computed placement
+    /// changed.
+    ///
+    /// # Errors
+    ///
+    /// [`VdsError::InvalidConfig`] for a duplicate id; placement and I/O
+    /// errors from the migration.
+    pub fn add_device(
+        &mut self,
+        id: u64,
+        capacity_blocks: u64,
+    ) -> Result<MigrationReport, VdsError> {
+        self.add_device_with_profile(id, capacity_blocks, DeviceProfile::default())
+    }
+
+    /// Adds a device with an explicit performance profile and migrates the
+    /// shards whose computed placement changed.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`StorageCluster::add_device`].
+    pub fn add_device_with_profile(
+        &mut self,
+        id: u64,
+        capacity_blocks: u64,
+        profile: DeviceProfile,
+    ) -> Result<MigrationReport, VdsError> {
+        if self.devices.contains_key(&id) {
+            return Err(VdsError::InvalidConfig {
+                reason: "duplicate device id",
+            });
+        }
+        self.devices
+            .insert(id, Device::with_profile(id, capacity_blocks, profile));
+        let new_strategy = self.build_strategy()?;
+        self.replace_strategy(new_strategy)
+    }
+
+    /// Adds a device *lazily*: the placement switches immediately, but no
+    /// data moves — blocks keep resolving to their old locations until
+    /// they are migrated by [`StorageCluster::migrate_step`] (or rewritten,
+    /// which completes their migration for free). Returns the number of
+    /// blocks awaiting migration.
+    ///
+    /// Only computed placement makes this cheap: both the old and the new
+    /// mapping are pure functions, so serving from either side needs no
+    /// per-block forwarding table.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`StorageCluster::add_device`]. Any migration
+    /// already in flight is drained first.
+    pub fn add_device_lazy(&mut self, id: u64, capacity_blocks: u64) -> Result<u64, VdsError> {
+        if self.devices.contains_key(&id) {
+            return Err(VdsError::InvalidConfig {
+                reason: "duplicate device id",
+            });
+        }
+        self.drain_pending()?;
+        self.devices.insert(
+            id,
+            Device::with_profile(id, capacity_blocks, DeviceProfile::default()),
+        );
+        let new_strategy = self.build_strategy()?;
+        let old_strategy = self
+            .strategy
+            .replace(new_strategy)
+            .expect("strategy always present");
+        let remaining: BTreeSet<u64> = self.blocks.iter().copied().collect();
+        let count = remaining.len() as u64;
+        self.pending = Some(PendingMigration {
+            old_strategy,
+            remaining,
+        });
+        Ok(count)
+    }
+
+    /// Migrates up to `max_blocks` pending blocks to their target
+    /// placement, returning what moved. With no migration in flight this
+    /// is a no-op reporting zeros.
+    ///
+    /// # Errors
+    ///
+    /// Device I/O errors and [`VdsError::DataLoss`] if a pending block
+    /// became unrecoverable. If a device failed mid-migration the step can
+    /// return [`VdsError::DeviceFailed`]; run [`StorageCluster::rebuild`],
+    /// which absorbs the remaining migration.
+    pub fn migrate_step(&mut self, max_blocks: u64) -> Result<MigrationReport, VdsError> {
+        let mut report = MigrationReport::default();
+        for _ in 0..max_blocks {
+            let Some(pending) = &mut self.pending else {
+                break;
+            };
+            let Some(&lba) = pending.remaining.iter().next() else {
+                self.pending = None;
+                break;
+            };
+            pending.remaining.remove(&lba);
+            let old_placement: Vec<u64> = pending
+                .old_strategy
+                .place(lba)
+                .into_iter()
+                .map(|id| id.raw())
+                .collect();
+            let new_placement = self.target_placement(lba);
+            report.blocks += 1;
+            report.shards_total += new_placement.len() as u64;
+            if old_placement == new_placement {
+                continue;
+            }
+            let mut shards: Vec<Option<Vec<u8>>> = old_placement
+                .iter()
+                .enumerate()
+                .map(|(i, dev_id)| self.devices.get_mut(dev_id).and_then(|d| d.load(&(lba, i))))
+                .collect();
+            let missing = shards.iter().filter(|s| s.is_none()).count();
+            if missing > 0 {
+                report.shards_reconstructed += missing as u64;
+                self.reconstruct_group(&mut shards, lba)?;
+            }
+            for (i, shard) in shards.into_iter().enumerate() {
+                let shard = shard.expect("complete after reconstruction");
+                let (old_dev, new_dev) = (old_placement[i], new_placement[i]);
+                if old_dev != new_dev {
+                    report.shards_moved += 1;
+                    if let Some(d) = self.devices.get_mut(&old_dev) {
+                        d.remove(&(lba, i));
+                    }
+                }
+                let target = self
+                    .devices
+                    .get_mut(&new_dev)
+                    .ok_or(VdsError::UnknownDevice { id: new_dev })?;
+                if old_dev != new_dev || !target.has(&(lba, i)) {
+                    target.store((lba, i), shard)?;
+                }
+            }
+        }
+        if let Some(p) = &self.pending {
+            if p.remaining.is_empty() {
+                self.pending = None;
+            }
+        }
+        Ok(report)
+    }
+
+    /// Blocks still awaiting lazy migration.
+    #[must_use]
+    pub fn pending_blocks(&self) -> u64 {
+        self.pending
+            .as_ref()
+            .map_or(0, |p| p.remaining.len() as u64)
+    }
+
+    /// Completes any in-flight lazy migration synchronously.
+    fn drain_pending(&mut self) -> Result<(), VdsError> {
+        while self.pending.is_some() {
+            self.migrate_step(u64::MAX)?;
+        }
+        Ok(())
+    }
+
+    /// Gracefully removes a device, migrating its shards away first.
+    ///
+    /// # Errors
+    ///
+    /// * [`VdsError::UnknownDevice`] if no such device exists.
+    /// * Placement errors if too few devices would remain.
+    pub fn remove_device(&mut self, id: u64) -> Result<MigrationReport, VdsError> {
+        if !self.devices.contains_key(&id) {
+            return Err(VdsError::UnknownDevice { id });
+        }
+        // Build the post-removal strategy first so a placement failure
+        // (too few devices) leaves the cluster untouched; the leaving
+        // device stays in the pool during the migration so its shards are
+        // read (drained) rather than reconstructed.
+        let bins = self
+            .devices
+            .values()
+            .filter(|d| d.id() != id && d.state() == DeviceState::Online)
+            .map(|d| Bin::new(d.id(), d.capacity_blocks()))
+            .collect::<Result<Vec<_>, _>>()?;
+        let set = BinSet::new(bins)?;
+        let new_strategy = RedundantShare::new(&set, self.redundancy.total_shards())?;
+        let report = self.replace_strategy(new_strategy)?;
+        let drained = self.devices.remove(&id).expect("checked above");
+        debug_assert_eq!(
+            drained.used_blocks(),
+            0,
+            "graceful removal must drain the device"
+        );
+        Ok(report)
+    }
+
+    /// Marks a device as crashed; its contents are lost and reads degrade
+    /// until [`StorageCluster::rebuild`] runs.
+    ///
+    /// # Errors
+    ///
+    /// [`VdsError::UnknownDevice`] if no such device exists.
+    pub fn fail_device(&mut self, id: u64) -> Result<(), VdsError> {
+        let dev = self
+            .devices
+            .get_mut(&id)
+            .ok_or(VdsError::UnknownDevice { id })?;
+        dev.fail();
+        Ok(())
+    }
+
+    /// Re-protects all data after failures: drops failed devices, rebuilds
+    /// the placement over the survivors, reconstructs lost shards from
+    /// redundancy and migrates shards to their new locations.
+    ///
+    /// # Errors
+    ///
+    /// [`VdsError::DataLoss`] if any block lost more shards than the
+    /// redundancy tolerates; placement errors if too few devices survive.
+    pub fn rebuild(&mut self) -> Result<MigrationReport, VdsError> {
+        let failed: Vec<u64> = self
+            .devices
+            .values()
+            .filter(|d| d.state() == DeviceState::Failed)
+            .map(Device::id)
+            .collect();
+        for id in &failed {
+            self.devices.remove(id);
+        }
+        let new_strategy = self.build_strategy()?;
+        self.replace_strategy(new_strategy)
+    }
+
+    /// Verifies that every block is readable; returns the number of blocks
+    /// currently degraded (readable only through reconstruction).
+    ///
+    /// # Errors
+    ///
+    /// [`VdsError::DataLoss`] on the first unrecoverable block.
+    pub fn scrub(&mut self) -> Result<u64, VdsError> {
+        let lbas: Vec<u64> = self.blocks.iter().copied().collect();
+        let mut degraded = 0;
+        for lba in lbas {
+            let placement = self.placement(lba);
+            let missing = placement
+                .iter()
+                .enumerate()
+                .filter(|(i, dev_id)| !self.devices.get(dev_id).is_some_and(|d| d.has(&(lba, *i))))
+                .count();
+            if missing > 0 {
+                degraded += 1;
+                // Force the read path to prove recoverability.
+                self.read_block(lba)?;
+            }
+        }
+        Ok(degraded)
+    }
+
+    /// Repairs degraded blocks in place: any shard missing from its
+    /// computed location (e.g. lost to a transient device error) is
+    /// reconstructed from the group's redundancy and re-stored, without
+    /// changing any placement. Returns the number of shards repaired.
+    ///
+    /// Contrast with [`StorageCluster::rebuild`], which removes failed
+    /// devices and relocates data; `repair` restores redundancy when the
+    /// device set is unchanged.
+    ///
+    /// # Errors
+    ///
+    /// [`VdsError::DataLoss`] if a block lost more shards than the
+    /// redundancy tolerates; device I/O errors on the re-stores.
+    pub fn repair(&mut self) -> Result<u64, VdsError> {
+        let lbas: Vec<u64> = self.blocks.iter().copied().collect();
+        let mut repaired = 0u64;
+        for lba in lbas {
+            let placement = self.placement(lba);
+            let mut shards: Vec<Option<Vec<u8>>> = placement
+                .iter()
+                .enumerate()
+                .map(|(i, dev_id)| self.devices.get_mut(dev_id).and_then(|d| d.load(&(lba, i))))
+                .collect();
+            let missing: Vec<usize> = shards
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| s.is_none().then_some(i))
+                .collect();
+            if missing.is_empty() {
+                continue;
+            }
+            self.reconstruct_group(&mut shards, lba)?;
+            for i in missing {
+                let shard = shards[i].clone().expect("reconstructed");
+                let target = self
+                    .devices
+                    .get_mut(&placement[i])
+                    .ok_or(VdsError::UnknownDevice { id: placement[i] })?;
+                target.store((lba, i), shard)?;
+                repaired += 1;
+            }
+        }
+        Ok(repaired)
+    }
+
+    /// The simulated completion time of everything the cluster has done so
+    /// far: the largest per-device busy time, i.e. the makespan assuming
+    /// all devices operate in parallel.
+    #[must_use]
+    pub fn makespan_us(&self) -> u64 {
+        self.devices
+            .values()
+            .map(|d| d.stats().busy_us)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Clears every device's I/O counters (e.g. to time one workload phase
+    /// in isolation).
+    pub fn reset_stats(&mut self) {
+        for d in self.devices.values_mut() {
+            d.reset_stats();
+        }
+    }
+
+    /// Dry-runs adding a device: returns the migration plan without
+    /// moving any data or changing the cluster.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`StorageCluster::add_device`].
+    pub fn plan_add_device(
+        &self,
+        id: u64,
+        capacity_blocks: u64,
+    ) -> Result<MigrationPlan, VdsError> {
+        if self.devices.contains_key(&id) {
+            return Err(VdsError::InvalidConfig {
+                reason: "duplicate device id",
+            });
+        }
+        let mut bins: Vec<Bin> = self
+            .devices
+            .values()
+            .filter(|d| d.state() == DeviceState::Online)
+            .map(|d| Bin::new(d.id(), d.capacity_blocks()))
+            .collect::<Result<Vec<_>, _>>()?;
+        bins.push(Bin::new(id, capacity_blocks)?);
+        self.plan_against(&BinSet::new(bins)?)
+    }
+
+    /// Dry-runs removing a device: returns the migration plan without
+    /// moving any data or changing the cluster.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`StorageCluster::remove_device`].
+    pub fn plan_remove_device(&self, id: u64) -> Result<MigrationPlan, VdsError> {
+        if !self.devices.contains_key(&id) {
+            return Err(VdsError::UnknownDevice { id });
+        }
+        let bins: Vec<Bin> = self
+            .devices
+            .values()
+            .filter(|d| d.id() != id && d.state() == DeviceState::Online)
+            .map(|d| Bin::new(d.id(), d.capacity_blocks()))
+            .collect::<Result<Vec<_>, _>>()?;
+        self.plan_against(&BinSet::new(bins)?)
+    }
+
+    /// Diffs the current placement against a hypothetical bin set.
+    fn plan_against(&self, bins: &BinSet) -> Result<MigrationPlan, VdsError> {
+        let candidate = RedundantShare::new(bins, self.redundancy.total_shards())?;
+        let mut plan = MigrationPlan::default();
+        for &lba in &self.blocks {
+            let old = self.placement(lba);
+            let new = candidate.place(lba);
+            plan.shards_total += old.len() as u64;
+            for (copy, (o, n)) in old.iter().zip(&new).enumerate() {
+                if *o != n.raw() {
+                    plan.moves.push(ShardMove {
+                        lba,
+                        copy,
+                        from: *o,
+                        to: n.raw(),
+                    });
+                }
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Deletes one shard from its device — fault injection for tests and
+    /// chaos experiments (a latent sector error, in disk terms). Returns
+    /// `true` if the shard existed. The block becomes degraded until
+    /// [`StorageCluster::repair`] or [`StorageCluster::rebuild`] runs.
+    pub fn inject_shard_loss(&mut self, lba: u64, copy: usize) -> bool {
+        if copy >= self.redundancy.total_shards() {
+            return false;
+        }
+        let placement = self.placement(lba);
+        self.devices
+            .get_mut(&placement[copy])
+            .and_then(|d| d.remove(&(lba, copy)))
+            .is_some()
+    }
+
+    /// Per-device `(id, used, capacity)` utilisation snapshot.
+    #[must_use]
+    pub fn utilization(&self) -> Vec<(u64, u64, u64)> {
+        self.devices
+            .values()
+            .map(|d| (d.id(), d.used_blocks(), d.capacity_blocks()))
+            .collect()
+    }
+
+    /// Swaps in a new placement strategy and migrates every shard whose
+    /// computed location changed. Shards whose old location is gone are
+    /// reconstructed from the group's redundancy.
+    fn replace_strategy(
+        &mut self,
+        new_strategy: RedundantShare,
+    ) -> Result<MigrationReport, VdsError> {
+        let old_strategy = self
+            .strategy
+            .replace(new_strategy)
+            .expect("strategy always present");
+        // Any in-flight lazy migration is absorbed: blocks it had not yet
+        // moved are gathered from their true (pre-lazy-change) locations.
+        let absorbed = self.pending.take();
+        let effective_old = |lba: u64| -> Vec<u64> {
+            let strat = match &absorbed {
+                Some(p) if p.remaining.contains(&lba) => &p.old_strategy,
+                _ => &old_strategy,
+            };
+            strat.place(lba).into_iter().map(|b| b.raw()).collect()
+        };
+        let mut report = MigrationReport::default();
+        let lbas: Vec<u64> = self.blocks.iter().copied().collect();
+        for lba in lbas {
+            report.blocks += 1;
+            let old_placement: Vec<u64> = effective_old(lba);
+            let new_placement = self.target_placement(lba);
+            report.shards_total += new_placement.len() as u64;
+            if old_placement == new_placement
+                && new_placement
+                    .iter()
+                    .enumerate()
+                    .all(|(i, id)| self.devices.get(id).is_some_and(|d| d.has(&(lba, i))))
+            {
+                continue;
+            }
+            // Gather surviving shards from their old locations.
+            let mut shards: Vec<Option<Vec<u8>>> = old_placement
+                .iter()
+                .enumerate()
+                .map(|(i, dev_id)| self.devices.get_mut(dev_id).and_then(|d| d.load(&(lba, i))))
+                .collect();
+            let missing = shards.iter().filter(|s| s.is_none()).count();
+            if missing > 0 {
+                report.shards_reconstructed += missing as u64;
+                self.reconstruct_group(&mut shards, lba)?;
+            }
+            // Move shards to their new homes.
+            for (i, shard) in shards.into_iter().enumerate() {
+                let shard = shard.expect("complete after reconstruction");
+                let (old_dev, new_dev) = (old_placement[i], new_placement[i]);
+                let relocated = old_dev != new_dev;
+                if relocated {
+                    report.shards_moved += 1;
+                    if let Some(d) = self.devices.get_mut(&old_dev) {
+                        d.remove(&(lba, i));
+                    }
+                }
+                let target = self
+                    .devices
+                    .get_mut(&new_dev)
+                    .ok_or(VdsError::UnknownDevice { id: new_dev })?;
+                if relocated || !target.has(&(lba, i)) {
+                    target.store((lba, i), shard)?;
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    /// Fills the `None` entries of a shard vector using the redundancy.
+    fn reconstruct_group(&self, shards: &mut [Option<Vec<u8>>], lba: u64) -> Result<(), VdsError> {
+        match self.redundancy {
+            Redundancy::Mirror { .. } => {
+                let source = shards
+                    .iter()
+                    .flatten()
+                    .next()
+                    .cloned()
+                    .ok_or(VdsError::DataLoss { lba })?;
+                for slot in shards.iter_mut() {
+                    if slot.is_none() {
+                        *slot = Some(source.clone());
+                    }
+                }
+                Ok(())
+            }
+            _ => {
+                let codec = self.codec.as_deref().expect("erasure codec");
+                codec.reconstruct(shards).map_err(|e| match e {
+                    rshare_erasure::ErasureError::TooManyErasures { .. } => {
+                        VdsError::DataLoss { lba }
+                    }
+                    other => VdsError::Erasure(other),
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(seed: u8, size: usize) -> Vec<u8> {
+        (0..size).map(|i| seed.wrapping_add(i as u8)).collect()
+    }
+
+    fn mirror_cluster() -> StorageCluster {
+        StorageCluster::builder()
+            .block_size(64)
+            .redundancy(Redundancy::Mirror { copies: 2 })
+            .device(0, 10_000)
+            .device(1, 10_000)
+            .device(2, 10_000)
+            .device(3, 10_000)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut c = mirror_cluster();
+        for lba in 0..200u64 {
+            c.write_block(lba, &block(lba as u8, 64)).unwrap();
+        }
+        for lba in 0..200u64 {
+            assert_eq!(c.read_block(lba).unwrap(), block(lba as u8, 64));
+        }
+        assert_eq!(c.block_count(), 200);
+        assert!(matches!(
+            c.read_block(10_000),
+            Err(VdsError::BlockNotFound { lba: 10_000 })
+        ));
+        assert!(matches!(
+            c.write_block(0, &[0u8; 7]),
+            Err(VdsError::WrongBlockSize {
+                expected: 64,
+                got: 7
+            })
+        ));
+    }
+
+    #[test]
+    fn copies_land_on_distinct_devices() {
+        let mut c = mirror_cluster();
+        for lba in 0..500u64 {
+            c.write_block(lba, &block(1, 64)).unwrap();
+            let placement = c.placement(lba);
+            let mut uniq = placement.clone();
+            uniq.sort_unstable();
+            uniq.dedup();
+            assert_eq!(uniq.len(), placement.len());
+        }
+    }
+
+    #[test]
+    fn degraded_read_after_failure() {
+        let mut c = mirror_cluster();
+        for lba in 0..300u64 {
+            c.write_block(lba, &block(lba as u8, 64)).unwrap();
+        }
+        c.fail_device(2).unwrap();
+        for lba in 0..300u64 {
+            assert_eq!(c.read_block(lba).unwrap(), block(lba as u8, 64));
+        }
+    }
+
+    #[test]
+    fn rebuild_restores_full_redundancy() {
+        let mut c = mirror_cluster();
+        for lba in 0..300u64 {
+            c.write_block(lba, &block(lba as u8, 64)).unwrap();
+        }
+        c.fail_device(1).unwrap();
+        let report = c.rebuild().unwrap();
+        assert!(report.shards_reconstructed > 0);
+        assert_eq!(c.device_ids(), vec![0, 2, 3]);
+        // After rebuild every block is fully replicated again.
+        assert_eq!(c.scrub().unwrap(), 0);
+        for lba in 0..300u64 {
+            assert_eq!(c.read_block(lba).unwrap(), block(lba as u8, 64));
+        }
+    }
+
+    #[test]
+    fn double_failure_under_mirroring_loses_data() {
+        let mut c = mirror_cluster();
+        for lba in 0..200u64 {
+            c.write_block(lba, &block(7, 64)).unwrap();
+        }
+        c.fail_device(0).unwrap();
+        c.fail_device(1).unwrap();
+        // Some block surely had both copies on devices 0 and 1.
+        let result = c.rebuild();
+        assert!(matches!(result, Err(VdsError::DataLoss { .. })));
+    }
+
+    #[test]
+    fn add_device_migrates_proportionally() {
+        let mut c = mirror_cluster();
+        for lba in 0..2_000u64 {
+            c.write_block(lba, &block(lba as u8, 64)).unwrap();
+        }
+        let report = c.add_device(9, 10_000).unwrap();
+        // New device owns 1/5 of the capacity; with k = 2 the paper's bound
+        // allows up to ~4ξ movement.
+        let frac = report.moved_fraction();
+        assert!(frac > 0.10 && frac < 0.65, "moved fraction {frac}");
+        // Everything still readable, fully replicated.
+        assert_eq!(c.scrub().unwrap(), 0);
+        let new_used = c.device(9).unwrap().used_blocks();
+        assert!(new_used > 0);
+    }
+
+    #[test]
+    fn remove_device_drains_it() {
+        let mut c = mirror_cluster();
+        for lba in 0..1_000u64 {
+            c.write_block(lba, &block(lba as u8, 64)).unwrap();
+        }
+        let report = c.remove_device(3).unwrap();
+        assert!(report.shards_moved > 0);
+        assert_eq!(c.device_ids(), vec![0, 1, 2]);
+        assert_eq!(c.scrub().unwrap(), 0);
+        for lba in 0..1_000u64 {
+            assert_eq!(c.read_block(lba).unwrap(), block(lba as u8, 64));
+        }
+    }
+
+    #[test]
+    fn erasure_coded_cluster_survives_double_failure() {
+        let mut c = StorageCluster::builder()
+            .block_size(64)
+            .redundancy(Redundancy::Rdp { p: 5 })
+            .device(0, 10_000)
+            .device(1, 10_000)
+            .device(2, 10_000)
+            .device(3, 10_000)
+            .device(4, 10_000)
+            .device(5, 10_000)
+            .device(6, 10_000)
+            .device(7, 10_000)
+            .build()
+            .unwrap();
+        for lba in 0..200u64 {
+            c.write_block(lba, &block(lba as u8, 64)).unwrap();
+        }
+        c.fail_device(0).unwrap();
+        c.fail_device(4).unwrap();
+        for lba in 0..200u64 {
+            assert_eq!(
+                c.read_block(lba).unwrap(),
+                block(lba as u8, 64),
+                "lba {lba}"
+            );
+        }
+        let report = c.rebuild().unwrap();
+        assert!(report.shards_reconstructed > 0);
+        assert_eq!(c.scrub().unwrap(), 0);
+    }
+
+    #[test]
+    fn heterogeneous_utilization_tracks_capacity() {
+        let mut c = StorageCluster::builder()
+            .block_size(16)
+            .redundancy(Redundancy::Mirror { copies: 2 })
+            .device(0, 5_000)
+            .device(1, 10_000)
+            .device(2, 15_000)
+            .device(3, 20_000)
+            .build()
+            .unwrap();
+        for lba in 0..8_000u64 {
+            c.write_block(lba, &block(lba as u8, 16)).unwrap();
+        }
+        let util = c.utilization();
+        let fractions: Vec<f64> = util
+            .iter()
+            .map(|(_, used, cap)| *used as f64 / *cap as f64)
+            .collect();
+        // Fairness: all devices should be roughly equally full.
+        let avg: f64 = fractions.iter().sum::<f64>() / fractions.len() as f64;
+        for (i, f) in fractions.iter().enumerate() {
+            assert!(
+                (f - avg).abs() / avg < 0.06,
+                "device {i} utilisation {f:.4} vs avg {avg:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn mirror_reads_touch_one_device_and_follow_capacity() {
+        let mut c = StorageCluster::builder()
+            .block_size(16)
+            .redundancy(Redundancy::Mirror { copies: 2 })
+            .device(0, 10_000)
+            .device(1, 20_000)
+            .device(2, 30_000)
+            .device(3, 40_000)
+            .build()
+            .unwrap();
+        let blocks = 6_000u64;
+        for lba in 0..blocks {
+            c.write_block(lba, &block(lba as u8, 16)).unwrap();
+        }
+        for lba in 0..blocks {
+            c.read_block(lba).unwrap();
+        }
+        let total_reads: u64 = c
+            .device_ids()
+            .iter()
+            .map(|id| c.device(*id).unwrap().stats().reads)
+            .sum();
+        // One shard read per block read.
+        assert_eq!(total_reads, blocks);
+        // Read load follows capacity share ("x% of the requests").
+        let total_cap = 100_000u64;
+        for id in c.device_ids() {
+            let dev = c.device(id).unwrap();
+            let got = dev.stats().reads as f64 / total_reads as f64;
+            let want = dev.capacity_blocks() as f64 / total_cap as f64;
+            assert!(
+                (got - want).abs() / want < 0.08,
+                "device {id}: read share {got:.4} vs capacity share {want:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn erasure_fast_path_skips_parity_reads() {
+        let mut c = StorageCluster::builder()
+            .block_size(32)
+            .redundancy(Redundancy::ReedSolomon { data: 4, parity: 2 })
+            .device(0, 1_000)
+            .device(1, 1_000)
+            .device(2, 1_000)
+            .device(3, 1_000)
+            .device(4, 1_000)
+            .device(5, 1_000)
+            .build()
+            .unwrap();
+        c.write_block(0, &block(3, 32)).unwrap();
+        let writes: u64 = c
+            .device_ids()
+            .iter()
+            .map(|id| c.device(*id).unwrap().stats().reads)
+            .sum();
+        assert_eq!(writes, 0);
+        c.read_block(0).unwrap();
+        let reads: u64 = c
+            .device_ids()
+            .iter()
+            .map(|id| c.device(*id).unwrap().stats().reads)
+            .sum();
+        // Healthy read touches exactly the 4 data shards.
+        assert_eq!(reads, 4);
+    }
+
+    #[test]
+    fn repair_restores_injected_losses() {
+        let mut c = mirror_cluster();
+        for lba in 0..400u64 {
+            c.write_block(lba, &block(lba as u8, 64)).unwrap();
+        }
+        // Latent errors on every 7th block's primary copy.
+        let mut injected = 0u64;
+        for lba in (0..400u64).step_by(7) {
+            assert!(c.inject_shard_loss(lba, 0));
+            injected += 1;
+        }
+        assert!(!c.inject_shard_loss(0, 99), "bad copy index rejected");
+        assert_eq!(c.scrub().unwrap(), injected, "scrub counts degraded blocks");
+        let repaired = c.repair().unwrap();
+        assert_eq!(repaired, injected);
+        assert_eq!(c.scrub().unwrap(), 0, "fully repaired");
+        assert_eq!(c.repair().unwrap(), 0, "repair is idempotent");
+        for lba in 0..400u64 {
+            assert_eq!(c.read_block(lba).unwrap(), block(lba as u8, 64));
+        }
+    }
+
+    #[test]
+    fn repair_fails_on_unrecoverable_block() {
+        let mut c = mirror_cluster();
+        c.write_block(0, &block(1, 64)).unwrap();
+        assert!(c.inject_shard_loss(0, 0));
+        assert!(c.inject_shard_loss(0, 1));
+        assert!(matches!(c.repair(), Err(VdsError::DataLoss { lba: 0 })));
+    }
+
+    #[test]
+    fn makespan_tracks_slowest_device() {
+        use crate::profile::DeviceProfile;
+        let mut c = StorageCluster::builder()
+            .block_size(64)
+            .redundancy(Redundancy::Mirror { copies: 2 })
+            .device_with_profile(0, 10_000, DeviceProfile::NVME)
+            .device_with_profile(1, 10_000, DeviceProfile::NVME)
+            .device_with_profile(2, 10_000, DeviceProfile::HDD)
+            .build()
+            .unwrap();
+        assert_eq!(c.makespan_us(), 0);
+        for lba in 0..600u64 {
+            c.write_block(lba, &block(lba as u8, 64)).unwrap();
+        }
+        // The HDD's per-op cost dominates: the makespan must equal its
+        // busy time, far above the NVMe devices'.
+        let hdd_busy = c.device(2).unwrap().stats().busy_us;
+        assert_eq!(c.makespan_us(), hdd_busy);
+        let nvme_busy = c.device(0).unwrap().stats().busy_us;
+        assert!(hdd_busy > 20 * nvme_busy, "hdd {hdd_busy} nvme {nvme_busy}");
+        c.reset_stats();
+        assert_eq!(c.makespan_us(), 0);
+    }
+
+    #[test]
+    fn plan_matches_actual_migration() {
+        let mut c = mirror_cluster();
+        for lba in 0..1_500u64 {
+            c.write_block(lba, &block(lba as u8, 64)).unwrap();
+        }
+        let plan = c.plan_add_device(9, 10_000).unwrap();
+        assert!(plan.moved_fraction() > 0.0);
+        // Every planned inflow move targets a real device of the new set.
+        for (dev, count) in plan.inflow_per_device() {
+            assert!(dev == 9 || c.device(dev).is_some());
+            assert!(count > 0);
+        }
+        let report = c.add_device(9, 10_000).unwrap();
+        assert_eq!(
+            plan.moves.len() as u64,
+            report.shards_moved,
+            "dry run must predict the real migration exactly"
+        );
+        // Planning is validated like the real operation.
+        assert!(c.plan_add_device(9, 1).is_err());
+        assert!(c.plan_remove_device(999).is_err());
+        let removal_plan = c.plan_remove_device(9).unwrap();
+        // Everything on device 9 must flow out.
+        let outflow = removal_plan.moves.iter().filter(|m| m.from == 9).count() as u64;
+        assert_eq!(outflow, c.device(9).unwrap().used_blocks());
+    }
+
+    #[test]
+    fn lazy_migration_serves_reads_throughout() {
+        let mut c = mirror_cluster();
+        for lba in 0..1_200u64 {
+            c.write_block(lba, &block(lba as u8, 64)).unwrap();
+        }
+        let pending = c.add_device_lazy(9, 10_000).unwrap();
+        assert_eq!(pending, 1_200);
+        assert_eq!(c.pending_blocks(), 1_200);
+        // Nothing has moved yet; everything still reads correctly.
+        assert_eq!(c.device(9).unwrap().used_blocks(), 0);
+        for lba in (0..1_200u64).step_by(37) {
+            assert_eq!(c.read_block(lba).unwrap(), block(lba as u8, 64));
+        }
+        // Migrate in small steps, reading in between.
+        let mut total_moved = 0;
+        while c.pending_blocks() > 0 {
+            let report = c.migrate_step(100).unwrap();
+            total_moved += report.shards_moved;
+            let probe = (c.pending_blocks() * 7) % 1_200;
+            assert_eq!(c.read_block(probe).unwrap(), block(probe as u8, 64));
+        }
+        assert!(total_moved > 0);
+        assert!(c.device(9).unwrap().used_blocks() > 0);
+        assert_eq!(c.scrub().unwrap(), 0);
+        // Idempotent when drained.
+        let report = c.migrate_step(10).unwrap();
+        assert_eq!(report.blocks, 0);
+    }
+
+    #[test]
+    fn lazy_migration_write_finalizes_block() {
+        let mut c = mirror_cluster();
+        for lba in 0..200u64 {
+            c.write_block(lba, &block(lba as u8, 64)).unwrap();
+        }
+        c.add_device_lazy(9, 10_000).unwrap();
+        let before = c.pending_blocks();
+        // Overwriting a pending block completes its migration.
+        c.write_block(5, &block(0xEE, 64)).unwrap();
+        assert_eq!(c.pending_blocks(), before - 1);
+        assert_eq!(c.read_block(5).unwrap(), block(0xEE, 64));
+        // No stale shards linger anywhere: total shards = 2 per block.
+        let total: u64 = c
+            .device_ids()
+            .iter()
+            .map(|id| c.device(*id).unwrap().used_blocks())
+            .sum();
+        assert_eq!(total, 400);
+    }
+
+    #[test]
+    fn eager_operations_drain_lazy_migration_first() {
+        let mut c = mirror_cluster();
+        for lba in 0..300u64 {
+            c.write_block(lba, &block(lba as u8, 64)).unwrap();
+        }
+        c.add_device_lazy(9, 10_000).unwrap();
+        assert!(c.pending_blocks() > 0);
+        // An eager removal forces the pending migration to finish first.
+        c.remove_device(0).unwrap();
+        assert_eq!(c.pending_blocks(), 0);
+        assert_eq!(c.scrub().unwrap(), 0);
+        for lba in (0..300u64).step_by(11) {
+            assert_eq!(c.read_block(lba).unwrap(), block(lba as u8, 64));
+        }
+    }
+
+    #[test]
+    fn builder_validation() {
+        assert!(matches!(
+            StorageCluster::builder().block_size(0).device(0, 1).build(),
+            Err(VdsError::InvalidConfig { .. })
+        ));
+        // Block size 10 is not divisible by RS(4, 2)'s 4 data shards.
+        assert!(matches!(
+            StorageCluster::builder()
+                .block_size(10)
+                .redundancy(Redundancy::ReedSolomon { data: 4, parity: 2 })
+                .device(0, 1)
+                .device(1, 1)
+                .device(2, 1)
+                .device(3, 1)
+                .device(4, 1)
+                .device(5, 1)
+                .build(),
+            Err(VdsError::InvalidConfig { .. })
+        ));
+        // Too few devices for the shard count.
+        assert!(StorageCluster::builder()
+            .redundancy(Redundancy::Mirror { copies: 3 })
+            .device(0, 1)
+            .device(1, 1)
+            .build()
+            .is_err());
+        // Duplicate device id.
+        assert!(matches!(
+            StorageCluster::builder().device(0, 1).device(0, 2).build(),
+            Err(VdsError::InvalidConfig { .. })
+        ));
+    }
+}

@@ -1,0 +1,203 @@
+//! Simulated block storage devices.
+
+use std::collections::HashMap;
+
+use crate::error::VdsError;
+use crate::profile::DeviceProfile;
+
+/// Identifies one shard of one redundancy group on a device.
+pub(crate) type ShardKey = (u64, usize); // (logical block address, shard index)
+
+/// Operational state of a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceState {
+    /// Serving reads and writes.
+    Online,
+    /// Crashed: contents are gone, I/O is rejected.
+    Failed,
+}
+
+/// Per-device I/O counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Number of shard reads served.
+    pub reads: u64,
+    /// Number of shard writes absorbed.
+    pub writes: u64,
+    /// Bytes read.
+    pub bytes_read: u64,
+    /// Bytes written.
+    pub bytes_written: u64,
+    /// Simulated time spent serving I/O, in microseconds (see
+    /// [`DeviceProfile`]).
+    pub busy_us: u64,
+}
+
+/// A simulated storage device holding shards of redundancy groups.
+///
+/// The device enforces its block capacity, tracks I/O statistics and can be
+/// failed (losing all contents) to drive rebuild experiments.
+#[derive(Debug, Clone)]
+pub struct Device {
+    id: u64,
+    capacity_blocks: u64,
+    state: DeviceState,
+    shards: HashMap<ShardKey, Vec<u8>>,
+    stats: IoStats,
+    profile: DeviceProfile,
+}
+
+impl Device {
+    /// Creates an online device able to hold `capacity_blocks` shards.
+    #[cfg(test)]
+    pub(crate) fn new(id: u64, capacity_blocks: u64) -> Self {
+        Self::with_profile(id, capacity_blocks, DeviceProfile::default())
+    }
+
+    /// Creates an online device with an explicit performance profile.
+    pub(crate) fn with_profile(id: u64, capacity_blocks: u64, profile: DeviceProfile) -> Self {
+        Self {
+            id,
+            capacity_blocks,
+            state: DeviceState::Online,
+            shards: HashMap::new(),
+            stats: IoStats::default(),
+            profile,
+        }
+    }
+
+    /// The device's performance profile.
+    #[must_use]
+    pub fn profile(&self) -> DeviceProfile {
+        self.profile
+    }
+
+    /// The device identifier (also its placement name).
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Capacity in shard blocks.
+    #[must_use]
+    pub fn capacity_blocks(&self) -> u64 {
+        self.capacity_blocks
+    }
+
+    /// Number of shards currently stored.
+    #[must_use]
+    pub fn used_blocks(&self) -> u64 {
+        self.shards.len() as u64
+    }
+
+    /// Utilisation in `[0, 1]`.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        self.used_blocks() as f64 / self.capacity_blocks as f64
+    }
+
+    /// Current operational state.
+    #[must_use]
+    pub fn state(&self) -> DeviceState {
+        self.state
+    }
+
+    /// I/O counters.
+    #[must_use]
+    pub fn stats(&self) -> IoStats {
+        self.stats
+    }
+
+    /// Marks the device failed and drops its contents.
+    pub(crate) fn fail(&mut self) {
+        self.state = DeviceState::Failed;
+        self.shards.clear();
+    }
+
+    pub(crate) fn store(&mut self, key: ShardKey, data: Vec<u8>) -> Result<(), VdsError> {
+        if self.state == DeviceState::Failed {
+            return Err(VdsError::DeviceFailed { id: self.id });
+        }
+        if !self.shards.contains_key(&key) && self.used_blocks() >= self.capacity_blocks {
+            return Err(VdsError::OutOfSpace { id: self.id });
+        }
+        self.stats.writes += 1;
+        self.stats.bytes_written += data.len() as u64;
+        self.stats.busy_us += self.profile.service_us(data.len());
+        self.shards.insert(key, data);
+        Ok(())
+    }
+
+    pub(crate) fn load(&mut self, key: &ShardKey) -> Option<Vec<u8>> {
+        if self.state == DeviceState::Failed {
+            return None;
+        }
+        let data = self.shards.get(key).cloned();
+        if let Some(d) = &data {
+            self.stats.reads += 1;
+            self.stats.bytes_read += d.len() as u64;
+            self.stats.busy_us += self.profile.service_us(d.len());
+        }
+        data
+    }
+
+    /// Clears the I/O counters (e.g. between workload phases).
+    pub(crate) fn reset_stats(&mut self) {
+        self.stats = IoStats::default();
+    }
+
+    pub(crate) fn remove(&mut self, key: &ShardKey) -> Option<Vec<u8>> {
+        self.shards.remove(key)
+    }
+
+    pub(crate) fn has(&self, key: &ShardKey) -> bool {
+        self.state == DeviceState::Online && self.shards.contains_key(&key.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_enforced() {
+        let mut d = Device::new(1, 2);
+        d.store((0, 0), vec![1]).unwrap();
+        d.store((1, 0), vec![2]).unwrap();
+        assert_eq!(
+            d.store((2, 0), vec![3]),
+            Err(VdsError::OutOfSpace { id: 1 })
+        );
+        // Overwrites of existing shards are always allowed.
+        d.store((1, 0), vec![9]).unwrap();
+        assert_eq!(d.load(&(1, 0)), Some(vec![9]));
+    }
+
+    #[test]
+    fn failure_drops_contents_and_rejects_io() {
+        let mut d = Device::new(7, 4);
+        d.store((0, 0), vec![1, 2, 3]).unwrap();
+        d.fail();
+        assert_eq!(d.state(), DeviceState::Failed);
+        assert_eq!(d.load(&(0, 0)), None);
+        assert!(!d.has(&(0, 0)));
+        assert_eq!(
+            d.store((1, 0), vec![4]),
+            Err(VdsError::DeviceFailed { id: 7 })
+        );
+    }
+
+    #[test]
+    fn stats_track_io() {
+        let mut d = Device::new(2, 10);
+        d.store((0, 0), vec![0; 16]).unwrap();
+        d.store((1, 1), vec![0; 16]).unwrap();
+        let _ = d.load(&(0, 0));
+        let s = d.stats();
+        assert_eq!(s.writes, 2);
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.bytes_written, 32);
+        assert_eq!(s.bytes_read, 16);
+        assert!((d.utilization() - 0.2).abs() < 1e-12);
+    }
+}

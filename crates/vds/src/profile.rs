@@ -1,0 +1,98 @@
+//! Device performance profiles for simulated I/O timing.
+//!
+//! The placement layer decides *where* shards live; how long the resulting
+//! I/O takes depends on each device's mechanics. [`DeviceProfile`] models a
+//! device with a fixed per-operation overhead (seek/queue) plus a transfer
+//! rate; devices accumulate simulated busy time, and the cluster exposes
+//! the **makespan** of a workload — the busy time of its slowest device,
+//! i.e. the completion time if all devices operate in parallel.
+//!
+//! This turns the paper's fairness claims into performance statements: a
+//! capacity-fair placement balances completion time exactly when
+//! throughput scales with capacity, and the `table_makespan` experiment
+//! quantifies what happens when it does not.
+
+/// Performance model of one device: fixed per-op latency + bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceProfile {
+    /// Fixed cost per shard operation, in microseconds (seek + queueing).
+    pub per_op_us: u32,
+    /// Sequential transfer rate in megabytes per second.
+    pub mbytes_per_s: u32,
+}
+
+impl DeviceProfile {
+    /// A 7200-rpm hard disk: ~8 ms seek, ~180 MB/s transfer.
+    pub const HDD: Self = Self {
+        per_op_us: 8_000,
+        mbytes_per_s: 180,
+    };
+
+    /// A SATA solid-state drive: ~60 µs access, ~550 MB/s transfer.
+    pub const SSD: Self = Self {
+        per_op_us: 60,
+        mbytes_per_s: 550,
+    };
+
+    /// An NVMe solid-state drive: ~15 µs access, ~3.5 GB/s transfer.
+    pub const NVME: Self = Self {
+        per_op_us: 15,
+        mbytes_per_s: 3_500,
+    };
+
+    /// Creates a custom profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mbytes_per_s` is zero.
+    #[must_use]
+    pub fn new(per_op_us: u32, mbytes_per_s: u32) -> Self {
+        assert!(mbytes_per_s > 0, "bandwidth must be positive");
+        Self {
+            per_op_us,
+            mbytes_per_s,
+        }
+    }
+
+    /// Simulated service time for one shard operation of `bytes` bytes,
+    /// in microseconds.
+    #[must_use]
+    pub fn service_us(&self, bytes: usize) -> u64 {
+        let transfer = bytes as u64 / u64::from(self.mbytes_per_s).max(1);
+        u64::from(self.per_op_us) + transfer
+    }
+}
+
+impl Default for DeviceProfile {
+    /// Defaults to [`DeviceProfile::SSD`].
+    fn default() -> Self {
+        Self::SSD
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn service_time_scales_with_bytes() {
+        let p = DeviceProfile::new(100, 1); // 1 MB/s => 1 µs per byte
+        assert_eq!(p.service_us(0), 100);
+        assert_eq!(p.service_us(4_096), 100 + 4_096);
+        let fast = DeviceProfile::NVME;
+        assert!(fast.service_us(1 << 20) < DeviceProfile::HDD.service_us(1 << 20));
+    }
+
+    #[test]
+    fn presets_are_ordered_by_speed() {
+        let bytes = 64 * 1024;
+        assert!(DeviceProfile::NVME.service_us(bytes) < DeviceProfile::SSD.service_us(bytes));
+        assert!(DeviceProfile::SSD.service_us(bytes) < DeviceProfile::HDD.service_us(bytes));
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_rejected() {
+        let _ = DeviceProfile::new(1, 0);
+    }
+}

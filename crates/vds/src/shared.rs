@@ -1,0 +1,194 @@
+//! A thread-safe handle to a storage cluster.
+//!
+//! [`StorageCluster`] is a single-threaded state machine (even reads update
+//! device statistics). [`SharedCluster`] wraps it for concurrent callers —
+//! many application threads issuing I/O while an operator thread runs
+//! migrations — with coarse-grained locking, which is honest about the
+//! simulator's semantics: every operation observes a serializable state.
+
+use std::sync::{Arc, Mutex};
+
+use crate::cluster::{MigrationReport, StorageCluster};
+use crate::error::VdsError;
+
+/// A cloneable, `Send + Sync` handle to a [`StorageCluster`].
+///
+/// # Example
+///
+/// ```
+/// use rshare_vds::{Redundancy, SharedCluster, StorageCluster};
+///
+/// let cluster = StorageCluster::builder()
+///     .block_size(16)
+///     .redundancy(Redundancy::Mirror { copies: 2 })
+///     .device(0, 1_000)
+///     .device(1, 1_000)
+///     .device(2, 1_000)
+///     .build()
+///     .unwrap();
+/// let shared = SharedCluster::new(cluster);
+/// let writer = shared.clone();
+/// std::thread::spawn(move || writer.write_block(0, &[1u8; 16]))
+///     .join()
+///     .unwrap()
+///     .unwrap();
+/// assert_eq!(shared.read_block(0).unwrap(), vec![1u8; 16]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SharedCluster {
+    inner: Arc<Mutex<StorageCluster>>,
+}
+
+impl SharedCluster {
+    /// Wraps a cluster for shared use.
+    #[must_use]
+    pub fn new(cluster: StorageCluster) -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(cluster)),
+        }
+    }
+
+    /// Runs `f` with exclusive access to the cluster — the escape hatch
+    /// for any operation without a dedicated wrapper.
+    pub fn with<R>(&self, f: impl FnOnce(&mut StorageCluster) -> R) -> R {
+        let mut guard = self.inner.lock().expect("cluster lock poisoned");
+        f(&mut guard)
+    }
+
+    /// See [`StorageCluster::write_block`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying cluster error.
+    pub fn write_block(&self, lba: u64, data: &[u8]) -> Result<(), VdsError> {
+        self.with(|c| c.write_block(lba, data))
+    }
+
+    /// See [`StorageCluster::read_block`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying cluster error.
+    pub fn read_block(&self, lba: u64) -> Result<Vec<u8>, VdsError> {
+        self.with(|c| c.read_block(lba))
+    }
+
+    /// See [`StorageCluster::add_device`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying cluster error.
+    pub fn add_device(&self, id: u64, capacity_blocks: u64) -> Result<MigrationReport, VdsError> {
+        self.with(|c| c.add_device(id, capacity_blocks))
+    }
+
+    /// See [`StorageCluster::migrate_step`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying cluster error.
+    pub fn migrate_step(&self, max_blocks: u64) -> Result<MigrationReport, VdsError> {
+        self.with(|c| c.migrate_step(max_blocks))
+    }
+
+    /// Consumes the handle, returning the cluster if this was the last
+    /// clone (`Err(self)` otherwise).
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(self)` when other handles still exist.
+    pub fn try_unwrap(self) -> Result<StorageCluster, Self> {
+        match Arc::try_unwrap(self.inner) {
+            Ok(mutex) => Ok(mutex.into_inner().expect("cluster lock poisoned")),
+            Err(inner) => Err(Self { inner }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::redundancy::Redundancy;
+
+    fn shared() -> SharedCluster {
+        let cluster = StorageCluster::builder()
+            .block_size(16)
+            .redundancy(Redundancy::Mirror { copies: 2 })
+            .device(0, 50_000)
+            .device(1, 50_000)
+            .device(2, 50_000)
+            .device(3, 50_000)
+            .build()
+            .unwrap();
+        SharedCluster::new(cluster)
+    }
+
+    #[test]
+    fn concurrent_writers_and_readers_stay_consistent() {
+        let cluster = shared();
+        let threads = 4u32;
+        let per_thread = 500u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let c = cluster.clone();
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        let lba = u64::from(t) * per_thread + i;
+                        let payload = [lba as u8; 16];
+                        c.write_block(lba, &payload).unwrap();
+                        assert_eq!(c.read_block(lba).unwrap(), payload);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut cluster = cluster.try_unwrap().expect("last handle");
+        assert_eq!(cluster.block_count(), u64::from(threads) * per_thread);
+        assert_eq!(cluster.scrub().unwrap(), 0);
+    }
+
+    #[test]
+    fn migration_races_with_io() {
+        let cluster = shared();
+        for lba in 0..2_000u64 {
+            cluster.write_block(lba, &[lba as u8; 16]).unwrap();
+        }
+        cluster
+            .with(|c| c.add_device_lazy(9, 50_000).map(|_| ()))
+            .unwrap();
+        let migrator = {
+            let c = cluster.clone();
+            std::thread::spawn(move || {
+                while c.with(|cluster| cluster.pending_blocks()) > 0 {
+                    c.migrate_step(50).unwrap();
+                }
+            })
+        };
+        let reader = {
+            let c = cluster.clone();
+            std::thread::spawn(move || {
+                for round in 0..3 {
+                    for lba in (0..2_000u64).step_by(17) {
+                        assert_eq!(c.read_block(lba).unwrap(), [lba as u8; 16], "round {round}");
+                    }
+                }
+            })
+        };
+        migrator.join().unwrap();
+        reader.join().unwrap();
+        let mut cluster = cluster.try_unwrap().expect("last handle");
+        assert_eq!(cluster.pending_blocks(), 0);
+        assert_eq!(cluster.scrub().unwrap(), 0);
+    }
+
+    #[test]
+    fn try_unwrap_respects_outstanding_handles() {
+        let cluster = shared();
+        let other = cluster.clone();
+        let cluster = cluster.try_unwrap().expect_err("handle outstanding");
+        drop(other);
+        assert!(cluster.try_unwrap().is_ok());
+    }
+}

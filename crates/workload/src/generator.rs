@@ -1,0 +1,152 @@
+//! Request and ball generators for workload experiments.
+//!
+//! Fairness in the paper covers both capacity ("x% of the data") and load
+//! ("x% of the requests"). The generators here drive the request side:
+//! uniform and Zipf-distributed accesses over the stored balls, produced
+//! from a seeded RNG so experiments are reproducible.
+
+use rand::{Rng, SeedableRng};
+
+/// A reproducible stream of ball identifiers to place.
+#[derive(Debug, Clone)]
+pub struct BallStream {
+    next: u64,
+    end: u64,
+}
+
+impl BallStream {
+    /// Sequential balls `start..end` (the bulk-load pattern of the paper's
+    /// experiments).
+    #[must_use]
+    pub fn sequential(start: u64, end: u64) -> Self {
+        Self { next: start, end }
+    }
+
+    /// Number of balls remaining.
+    #[must_use]
+    pub fn remaining(&self) -> u64 {
+        self.end.saturating_sub(self.next)
+    }
+}
+
+impl Iterator for BallStream {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        if self.next >= self.end {
+            return None;
+        }
+        let v = self.next;
+        self.next += 1;
+        Some(v)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = usize::try_from(self.remaining()).unwrap_or(usize::MAX);
+        (n, Some(n))
+    }
+}
+
+/// A Zipf-distributed request sampler over `n` items.
+///
+/// Item ranks are assigned by a seeded permutation so that popularity is
+/// not correlated with ball address (and therefore not with placement).
+///
+/// # Example
+///
+/// ```
+/// use rshare_workload::generator::ZipfRequests;
+///
+/// let mut zipf = ZipfRequests::new(1_000, 1.1, 42);
+/// let sample = zipf.sample();
+/// assert!(sample < 1_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZipfRequests {
+    /// Cumulative probability over ranks.
+    cdf: Vec<f64>,
+    /// rank → item mapping.
+    items: Vec<u64>,
+    rng: rand::rngs::StdRng,
+}
+
+impl ZipfRequests {
+    /// Creates a sampler over items `0..n` with exponent `s > 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is not finite and positive.
+    #[must_use]
+    pub fn new(n: u64, s: f64, seed: u64) -> Self {
+        assert!(n > 0, "need at least one item");
+        assert!(s.is_finite() && s > 0.0, "exponent must be positive");
+        let n_usize = usize::try_from(n).expect("item count fits in memory");
+        let mut weights: Vec<f64> = (1..=n_usize)
+            .map(|rank| 1.0 / (rank as f64).powf(s))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        for w in &mut weights {
+            acc += *w / total;
+            *w = acc;
+        }
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        // Seeded Fisher-Yates permutation decouples rank from address.
+        let mut items: Vec<u64> = (0..n).collect();
+        for i in (1..n_usize).rev() {
+            let j = rng.gen_range(0..=i);
+            items.swap(i, j);
+        }
+        Self {
+            cdf: weights,
+            items,
+            rng,
+        }
+    }
+
+    /// Draws the next request's ball identifier.
+    pub fn sample(&mut self) -> u64 {
+        let u: f64 = self.rng.gen();
+        let rank = self.cdf.partition_point(|&c| c < u);
+        self.items[rank.min(self.items.len() - 1)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_stream_covers_range() {
+        let balls: Vec<u64> = BallStream::sequential(5, 10).collect();
+        assert_eq!(balls, vec![5, 6, 7, 8, 9]);
+        assert_eq!(BallStream::sequential(3, 3).count(), 0);
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_seeded() {
+        let mut z1 = ZipfRequests::new(100, 1.2, 7);
+        let mut z2 = ZipfRequests::new(100, 1.2, 7);
+        let a: Vec<u64> = (0..50).map(|_| z1.sample()).collect();
+        let b: Vec<u64> = (0..50).map(|_| z2.sample()).collect();
+        assert_eq!(a, b, "same seed, same stream");
+
+        // The most popular item should absorb far more than 1/100 of the
+        // requests.
+        let mut counts = vec![0u32; 100];
+        let mut z = ZipfRequests::new(100, 1.2, 11);
+        for _ in 0..20_000 {
+            counts[z.sample() as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        assert!(max > 2_000, "hottest item only got {max} of 20k requests");
+        // But every item id is in range (permutation intact).
+        assert_eq!(counts.len(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one item")]
+    fn zipf_zero_items_panics() {
+        let _ = ZipfRequests::new(0, 1.0, 1);
+    }
+}

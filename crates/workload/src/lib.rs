@@ -1,0 +1,35 @@
+//! Workload generators, experiment scenarios and measurement utilities for
+//! the ICDCS 2007 reproduction.
+//!
+//! The paper evaluates its strategies in a simulation environment: bins are
+//! filled with blocks, per-bin usage is plotted (Figures 2 and 4), and
+//! membership changes are scored by `replaced blocks / blocks on the
+//! affected bin` (Figures 3 and 5). This crate packages those experiment
+//! ingredients so the test suite, the examples and the benchmark harness
+//! all measure the same way:
+//!
+//! * [`scenario`] — the exact bin configurations of the paper's
+//!   experiments (8 → 10 → 12 → 10 → 8 heterogeneous bins, and the
+//!   add/remove-at-the-ends adaptivity variants);
+//! * [`metrics`] — per-bin load tallies, usage fractions, max relative
+//!   deviation and χ²;
+//! * [`movement`] — replaced-copy counting and the paper's competitive
+//!   factor;
+//! * [`generator`] — reproducible ball streams and Zipf request samplers;
+//! * [`trace`] — synthetic mixed read/write traces with sequential runs
+//!   and skewed popularity, for end-to-end replay;
+//! * [`reliability`] — Monte-Carlo durability simulation (device failures
+//!   and rebuilds over the *actual* placed redundancy groups).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generator;
+pub mod metrics;
+pub mod movement;
+pub mod reliability;
+pub mod scenario;
+pub mod trace;
+
+pub use metrics::{measure_fairness, FairnessReport};
+pub use movement::{measure_movement, MovementReport};

@@ -1,0 +1,192 @@
+//! Fairness metrics over empirical placement loads.
+
+use rshare_core::PlacementStrategy;
+
+/// Empirical load of a strategy over a ball range, with fairness measures.
+#[derive(Debug, Clone)]
+pub struct FairnessReport {
+    /// Copies placed on each bin (aligned with the strategy's
+    /// [`PlacementStrategy::bin_ids`]).
+    pub counts: Vec<u64>,
+    /// Empirical per-ball share of each bin (`counts / balls`).
+    pub shares: Vec<f64>,
+    /// The strategy's fair-share targets.
+    pub targets: Vec<f64>,
+    /// Number of balls placed.
+    pub balls: u64,
+}
+
+impl FairnessReport {
+    /// Largest relative deviation `|share − target| / target` over bins
+    /// with a positive target.
+    #[must_use]
+    pub fn max_relative_deviation(&self) -> f64 {
+        self.shares
+            .iter()
+            .zip(&self.targets)
+            .filter(|(_, t)| **t > 0.0)
+            .map(|(s, t)| (s - t).abs() / t)
+            .fold(0.0, f64::max)
+    }
+
+    /// Pearson χ² statistic of the observed copy counts against the
+    /// expected counts `balls · target`.
+    #[must_use]
+    pub fn chi_square(&self) -> f64 {
+        self.counts
+            .iter()
+            .zip(&self.targets)
+            .filter(|(_, t)| **t > 0.0)
+            .map(|(&c, t)| {
+                let expected = self.balls as f64 * t;
+                let diff = c as f64 - expected;
+                diff * diff / expected
+            })
+            .sum()
+    }
+
+    /// Gini coefficient of the per-bin *normalised* loads
+    /// (`share_i / target_i`): 0 means every bin is exactly as full,
+    /// relative to its fair share, as every other — the paper's fairness
+    /// in one number.
+    #[must_use]
+    pub fn gini(&self) -> f64 {
+        let mut normalised: Vec<f64> = self
+            .shares
+            .iter()
+            .zip(&self.targets)
+            .filter(|(_, t)| **t > 0.0)
+            .map(|(s, t)| s / t)
+            .collect();
+        if normalised.len() < 2 {
+            return 0.0;
+        }
+        normalised.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let n = normalised.len() as f64;
+        let sum: f64 = normalised.iter().sum();
+        if sum <= 0.0 {
+            return 0.0;
+        }
+        let weighted: f64 = normalised
+            .iter()
+            .enumerate()
+            .map(|(i, x)| (i as f64 + 1.0) * x)
+            .sum();
+        (2.0 * weighted) / (n * sum) - (n + 1.0) / n
+    }
+
+    /// Per-bin usage fraction when each bin has the given capacity: the
+    /// quantity plotted in Figures 2 and 4 ("how much percent of each bin
+    /// is used"). For a fair strategy all entries are (nearly) equal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacities.len()` differs from the bin count.
+    #[must_use]
+    pub fn usage_fractions(&self, capacities: &[u64]) -> Vec<f64> {
+        assert_eq!(capacities.len(), self.counts.len());
+        self.counts
+            .iter()
+            .zip(capacities)
+            .map(|(&c, &cap)| c as f64 / cap as f64)
+            .collect()
+    }
+}
+
+/// Places balls `0..balls` with `strategy` and tallies per-bin loads.
+///
+/// # Example
+///
+/// ```
+/// use rshare_core::{BinSet, RedundantShare};
+/// use rshare_workload::metrics::measure_fairness;
+///
+/// let bins = BinSet::from_capacities([300, 200, 100]).unwrap();
+/// let strat = RedundantShare::new(&bins, 2).unwrap();
+/// let report = measure_fairness(&strat, 20_000);
+/// assert!(report.max_relative_deviation() < 0.05);
+/// ```
+#[must_use]
+pub fn measure_fairness(strategy: &dyn PlacementStrategy, balls: u64) -> FairnessReport {
+    let ids = strategy.bin_ids();
+    let mut index = std::collections::HashMap::with_capacity(ids.len());
+    for (i, id) in ids.iter().enumerate() {
+        index.insert(*id, i);
+    }
+    let mut counts = vec![0u64; ids.len()];
+    let mut out = Vec::with_capacity(strategy.replication());
+    for ball in 0..balls {
+        strategy.place_into(ball, &mut out);
+        for id in &out {
+            counts[index[id]] += 1;
+        }
+    }
+    let shares = counts.iter().map(|&c| c as f64 / balls as f64).collect();
+    FairnessReport {
+        counts,
+        shares,
+        targets: strategy.fair_shares(),
+        balls,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rshare_core::{BinSet, RedundantShare, TrivialReplication};
+
+    #[test]
+    fn fair_strategy_has_low_deviation() {
+        let bins = BinSet::from_capacities([500, 400, 300, 200]).unwrap();
+        let strat = RedundantShare::new(&bins, 2).unwrap();
+        let report = measure_fairness(&strat, 60_000);
+        assert!(report.max_relative_deviation() < 0.03);
+        // χ² for 4 bins should be moderate for a fair strategy (d.o.f. 3;
+        // far below a blow-up value).
+        assert!(report.chi_square() < 50.0, "chi² = {}", report.chi_square());
+    }
+
+    #[test]
+    fn trivial_strategy_shows_unfairness() {
+        // (2, 1, 1): the trivial baseline underfills the big bin; its
+        // deviation should dwarf Redundant Share's.
+        let bins = BinSet::from_capacities([2_000, 1_000, 1_000]).unwrap();
+        let trivial = TrivialReplication::new(&bins, 2).unwrap();
+        let fair = RedundantShare::new(&bins, 2).unwrap();
+        let t = measure_fairness(&trivial, 60_000);
+        let f = measure_fairness(&fair, 60_000);
+        assert!(
+            t.max_relative_deviation() > 5.0 * f.max_relative_deviation(),
+            "trivial {} vs fair {}",
+            t.max_relative_deviation(),
+            f.max_relative_deviation()
+        );
+    }
+
+    #[test]
+    fn gini_of_fair_placement_is_tiny() {
+        let bins = BinSet::from_capacities([500, 400, 300, 200]).unwrap();
+        let fair = RedundantShare::new(&bins, 2).unwrap();
+        let report = measure_fairness(&fair, 60_000);
+        assert!(report.gini() < 0.01, "gini {}", report.gini());
+        // The trivial baseline on skewed bins is measurably less equal.
+        let skewed = BinSet::from_capacities([2_000, 1_000, 1_000]).unwrap();
+        let trivial = TrivialReplication::new(&skewed, 2).unwrap();
+        let t = measure_fairness(&trivial, 60_000);
+        assert!(t.gini() > 3.0 * report.gini(), "trivial gini {}", t.gini());
+    }
+
+    #[test]
+    fn usage_fractions_equal_for_fair_placement() {
+        let caps = [500u64, 400, 300, 200];
+        let bins = BinSet::from_capacities(caps).unwrap();
+        let strat = RedundantShare::new(&bins, 2).unwrap();
+        let report = measure_fairness(&strat, 70_000);
+        // Note: bin_ids are sorted by descending capacity = same order.
+        let usage = report.usage_fractions(&caps);
+        let avg: f64 = usage.iter().sum::<f64>() / usage.len() as f64;
+        for u in usage {
+            assert!((u - avg).abs() / avg < 0.03);
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Movement accounting for adaptivity experiments (Figures 3 and 5).
+//!
+//! A copy is *replaced* when its computed location under the new
+//! configuration differs from its location under the old one; the paper
+//! counts these per copy index (copy identity is stable, so "the i-th copy
+//! of block x" is well defined on both sides). The competitive factor
+//! reported in Figures 3 and 5 is `replaced / used`, where `used` is the
+//! number of copies on the affected (added or removed) bin.
+
+use rshare_core::{BinId, PlacementStrategy};
+
+/// Result of comparing two placement configurations over a ball range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MovementReport {
+    /// Balls examined.
+    pub balls: u64,
+    /// Total copies examined (`balls × k`).
+    pub total_copies: u64,
+    /// Copies whose location changed.
+    pub replaced: u64,
+    /// Copies located on the affected bin (in the configuration that
+    /// contains it).
+    pub used_on_affected: u64,
+}
+
+impl MovementReport {
+    /// The paper's competitive factor: replaced blocks divided by the
+    /// blocks used on the affected bin.
+    #[must_use]
+    pub fn factor(&self) -> f64 {
+        if self.used_on_affected == 0 {
+            0.0
+        } else {
+            self.replaced as f64 / self.used_on_affected as f64
+        }
+    }
+
+    /// Fraction of all copies that moved.
+    #[must_use]
+    pub fn replaced_fraction(&self) -> f64 {
+        if self.total_copies == 0 {
+            0.0
+        } else {
+            self.replaced as f64 / self.total_copies as f64
+        }
+    }
+}
+
+/// Measures movement between two configurations of the same strategy
+/// family over balls `0..balls`.
+///
+/// `affected` is the bin that was added (present only in `after`) or
+/// removed (present only in `before`); copies on it are counted in
+/// whichever configuration contains it.
+///
+/// # Panics
+///
+/// Panics if the two strategies disagree on the replication degree.
+///
+/// # Example
+///
+/// ```
+/// use rshare_core::{Bin, BinSet, RedundantShare};
+/// use rshare_workload::movement::measure_movement;
+///
+/// let before = BinSet::from_capacities([100, 100, 100, 100]).unwrap();
+/// let after = before.with_bin(Bin::new(99u64, 100).unwrap()).unwrap();
+/// let a = RedundantShare::new(&before, 2).unwrap();
+/// let b = RedundantShare::new(&after, 2).unwrap();
+/// let report = measure_movement(&a, &b, 99u64.into(), 20_000);
+/// assert!(report.factor() < 4.0); // Lemma 3.2's band
+/// ```
+#[must_use]
+pub fn measure_movement(
+    before: &dyn PlacementStrategy,
+    after: &dyn PlacementStrategy,
+    affected: BinId,
+    balls: u64,
+) -> MovementReport {
+    assert_eq!(
+        before.replication(),
+        after.replication(),
+        "configurations must share the replication degree"
+    );
+    let k = before.replication();
+    let affected_in_after = after.bin_ids().contains(&affected);
+    let mut replaced = 0u64;
+    let mut used = 0u64;
+    let (mut va, mut vb) = (Vec::with_capacity(k), Vec::with_capacity(k));
+    for ball in 0..balls {
+        before.place_into(ball, &mut va);
+        after.place_into(ball, &mut vb);
+        for (x, y) in va.iter().zip(&vb) {
+            if x != y {
+                replaced += 1;
+            }
+            let on_affected = if affected_in_after { y } else { x };
+            if *on_affected == affected {
+                used += 1;
+            }
+        }
+    }
+    MovementReport {
+        balls,
+        total_copies: balls * k as u64,
+        replaced,
+        used_on_affected: used,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{adaptivity_pair, heterogeneous_bins, homogeneous_bins, ChangeKind};
+    use rshare_core::RedundantShare;
+
+    fn factor(kind: ChangeKind, homogeneous: bool, k: usize) -> f64 {
+        let base = if homogeneous {
+            homogeneous_bins(8)
+        } else {
+            heterogeneous_bins(8)
+        };
+        let (before, after, affected) = adaptivity_pair(&base, kind);
+        let a = RedundantShare::new(&before, k).unwrap();
+        let b = RedundantShare::new(&after, k).unwrap();
+        measure_movement(&a, &b, affected, 30_000).factor()
+    }
+
+    #[test]
+    fn identical_configurations_move_nothing() {
+        let bins = heterogeneous_bins(6);
+        let a = RedundantShare::new(&bins, 2).unwrap();
+        let b = RedundantShare::new(&bins, 2).unwrap();
+        let r = measure_movement(&a, &b, rshare_core::BinId(1_000), 5_000);
+        assert_eq!(r.replaced, 0);
+        assert!(r.used_on_affected > 0);
+    }
+
+    #[test]
+    fn add_biggest_is_cheap_for_linmirror() {
+        // Paper: ≈1.5 for changing the biggest bin.
+        let f = factor(ChangeKind::AddBiggest, false, 2);
+        assert!((1.0..2.4).contains(&f), "factor {f}");
+    }
+
+    #[test]
+    fn add_smallest_is_more_expensive() {
+        // Paper: ≈2.5 for changing the smallest bin — still within the
+        // Lemma 3.2 bound of 4.
+        let f = factor(ChangeKind::AddSmallest, false, 2);
+        assert!(f > 1.3 && f < 4.5, "factor {f}");
+    }
+
+    #[test]
+    fn k2_factors_within_lemma_bound() {
+        for kind in ChangeKind::ALL {
+            for homogeneous in [false, true] {
+                let f = factor(kind, homogeneous, 2);
+                assert!(
+                    f < 4.5,
+                    "kind {:?} hom={homogeneous}: factor {f} exceeds Lemma 3.2 band",
+                    kind
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn k4_factors_below_k_squared() {
+        // Lemma 3.5 bound is k² = 16; Figure 5 suggests far less.
+        for kind in [ChangeKind::AddBiggest, ChangeKind::AddSmallest] {
+            let f = factor(kind, true, 4);
+            assert!(f < 16.0, "kind {:?}: factor {f}", kind);
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! Monte-Carlo durability simulation over placed redundancy groups.
+//!
+//! The paper motivates redundancy with device failures ("if a storage
+//! device fails, all of the blocks stored in it cannot be recovered any
+//! more"). This module closes the loop: given a placement strategy and a
+//! redundancy tolerance, it simulates years of operation — exponential
+//! device failures, rebuilds bounded by a rebuild time — and estimates the
+//! probability that some redundancy group loses more shards than it
+//! tolerates while degraded.
+//!
+//! Because shard locations come from the *actual* placement strategy, the
+//! simulation captures placement-level effects (e.g. which device pairs
+//! co-host mirror copies) that closed-form MTTDL formulas average away.
+
+use rand::{Rng, SeedableRng};
+use rshare_core::PlacementStrategy;
+
+/// Configuration of one durability simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReliabilityConfig {
+    /// Number of redundancy groups (blocks) tracked.
+    pub blocks: u64,
+    /// Shard losses each group tolerates (k-1 for k-mirroring, parity
+    /// count for MDS codes).
+    pub tolerated: usize,
+    /// Mean time between failures of one device, in hours.
+    pub device_mtbf_hours: f64,
+    /// Time to restore a failed device's shards, in hours.
+    pub rebuild_hours: f64,
+    /// Simulated mission time, in hours.
+    pub mission_hours: f64,
+}
+
+impl Default for ReliabilityConfig {
+    /// 100k blocks, 1M-hour device MTBF (~114 years, a typical disk spec),
+    /// 24-hour rebuilds, a 10-year mission.
+    fn default() -> Self {
+        Self {
+            blocks: 100_000,
+            tolerated: 1,
+            device_mtbf_hours: 1.0e6,
+            rebuild_hours: 24.0,
+            mission_hours: 10.0 * 365.25 * 24.0,
+        }
+    }
+}
+
+/// Aggregated outcome of repeated missions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReliabilityReport {
+    /// Missions simulated.
+    pub trials: u32,
+    /// Missions that experienced at least one unrecoverable group.
+    pub losses: u32,
+    /// Mean number of device failures per mission.
+    pub mean_failures: f64,
+    /// Mean simulated hours until the first loss, over missions that lost
+    /// data (`None` if none did).
+    pub mean_hours_to_loss: Option<f64>,
+}
+
+impl ReliabilityReport {
+    /// Estimated probability of data loss within one mission.
+    #[must_use]
+    pub fn loss_probability(&self) -> f64 {
+        f64::from(self.losses) / f64::from(self.trials)
+    }
+}
+
+/// Runs `trials` independent missions of the configured simulation.
+///
+/// Device failure times are exponential with the configured MTBF; a failed
+/// device is fully restored `rebuild_hours` later (from redundancy, as
+/// [`rshare-vds`]'s rebuild would). Data is lost when a group has more
+/// than `tolerated` shards on simultaneously-failed devices.
+///
+/// # Panics
+///
+/// Panics if the strategy returns placements inconsistent with its
+/// `bin_ids`, or if the configuration is non-positive.
+#[must_use]
+pub fn simulate(
+    strategy: &dyn PlacementStrategy,
+    config: ReliabilityConfig,
+    trials: u32,
+    seed: u64,
+) -> ReliabilityReport {
+    assert!(config.blocks > 0 && trials > 0);
+    assert!(config.device_mtbf_hours > 0.0 && config.rebuild_hours > 0.0);
+    let n = strategy.bin_ids().len();
+    // Reverse index: device -> blocks with a shard on it.
+    let mut device_blocks: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut out = Vec::with_capacity(strategy.replication());
+    let id_pos: std::collections::HashMap<_, _> = strategy
+        .bin_ids()
+        .iter()
+        .enumerate()
+        .map(|(i, id)| (*id, i))
+        .collect();
+    for block in 0..config.blocks {
+        strategy.place_into(block, &mut out);
+        for id in &out {
+            device_blocks[id_pos[id]].push(block as u32);
+        }
+    }
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let lambda = 1.0 / config.device_mtbf_hours;
+    let mut losses = 0u32;
+    let mut total_failures = 0u64;
+    let mut hours_to_loss_sum = 0.0;
+    for _ in 0..trials {
+        // Per-device next failure time; failed devices carry their repair
+        // completion time.
+        let mut next_failure: Vec<f64> = (0..n)
+            .map(|_| -rng.gen::<f64>().max(f64::MIN_POSITIVE).ln() / lambda)
+            .collect();
+        let mut repaired_at: Vec<f64> = vec![0.0; n];
+        let mut failed: Vec<bool> = vec![false; n];
+        let mut degraded: Vec<u8> = vec![0; usize::try_from(config.blocks).unwrap()];
+        let mut lost = None;
+        loop {
+            // Next event: earliest failure or repair.
+            let mut t = f64::INFINITY;
+            let mut dev = usize::MAX;
+            let mut is_repair = false;
+            for d in 0..n {
+                if failed[d] {
+                    if repaired_at[d] < t {
+                        t = repaired_at[d];
+                        dev = d;
+                        is_repair = true;
+                    }
+                } else if next_failure[d] < t {
+                    t = next_failure[d];
+                    dev = d;
+                    is_repair = false;
+                }
+            }
+            if t > config.mission_hours {
+                break;
+            }
+            if is_repair {
+                failed[dev] = false;
+                next_failure[dev] = t + -rng.gen::<f64>().max(f64::MIN_POSITIVE).ln() / lambda;
+                for &b in &device_blocks[dev] {
+                    degraded[b as usize] -= 1;
+                }
+            } else {
+                failed[dev] = true;
+                repaired_at[dev] = t + config.rebuild_hours;
+                total_failures += 1;
+                for &b in &device_blocks[dev] {
+                    degraded[b as usize] += 1;
+                    if usize::from(degraded[b as usize]) > config.tolerated {
+                        lost.get_or_insert(t);
+                    }
+                }
+                if lost.is_some() {
+                    break;
+                }
+            }
+        }
+        if let Some(t) = lost {
+            losses += 1;
+            hours_to_loss_sum += t;
+        }
+    }
+    ReliabilityReport {
+        trials,
+        losses,
+        mean_failures: total_failures as f64 / f64::from(trials),
+        mean_hours_to_loss: (losses > 0).then(|| hours_to_loss_sum / f64::from(losses)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rshare_core::{BinSet, RedundantShare};
+
+    fn strategy(n: u64, k: usize) -> RedundantShare {
+        let bins = BinSet::from_capacities((0..n).map(|_| 1_000_000)).unwrap();
+        RedundantShare::new(&bins, k).unwrap()
+    }
+
+    #[test]
+    fn no_redundancy_loses_on_first_failure() {
+        let strat = strategy(6, 1);
+        let config = ReliabilityConfig {
+            blocks: 1_000,
+            tolerated: 0,
+            device_mtbf_hours: 1_000.0, // fail often
+            rebuild_hours: 10.0,
+            mission_hours: 50_000.0,
+        };
+        let report = simulate(&strat, config, 20, 1);
+        assert_eq!(report.losses, report.trials, "k = 1 cannot survive");
+        assert!(report.mean_hours_to_loss.unwrap() < 10_000.0);
+    }
+
+    #[test]
+    fn more_redundancy_is_strictly_safer() {
+        let config = ReliabilityConfig {
+            blocks: 20_000,
+            tolerated: 1,
+            device_mtbf_hours: 20_000.0, // aggressive, to see events
+            rebuild_hours: 200.0,        // slow rebuilds widen the window
+            mission_hours: 10.0 * 8_766.0,
+        };
+        let mirror2 = simulate(&strategy(8, 2), config, 60, 7);
+        let config3 = ReliabilityConfig {
+            tolerated: 2,
+            ..config
+        };
+        let mirror3 = simulate(&strategy(8, 3), config3, 60, 7);
+        assert!(
+            mirror3.loss_probability() <= mirror2.loss_probability(),
+            "3-way {} should not lose more than 2-way {}",
+            mirror3.loss_probability(),
+            mirror2.loss_probability()
+        );
+        assert!(mirror2.mean_failures > 1.0, "failures should occur");
+    }
+
+    #[test]
+    fn reliable_devices_rarely_lose_data() {
+        let strat = strategy(8, 3);
+        let config = ReliabilityConfig {
+            blocks: 5_000,
+            tolerated: 2,
+            ..ReliabilityConfig::default()
+        };
+        let report = simulate(&strat, config, 20, 42);
+        assert_eq!(
+            report.losses, 0,
+            "spec-sheet MTBF with 3-way mirroring must survive 10 years"
+        );
+    }
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let strat = strategy(6, 2);
+        let config = ReliabilityConfig {
+            blocks: 2_000,
+            device_mtbf_hours: 30_000.0,
+            rebuild_hours: 100.0,
+            ..ReliabilityConfig::default()
+        };
+        let a = simulate(&strat, config, 10, 5);
+        let b = simulate(&strat, config, 10, 5);
+        assert_eq!(a, b);
+    }
+}

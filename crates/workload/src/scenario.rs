@@ -1,0 +1,238 @@
+//! The experiment scenarios of the paper's evaluation.
+//!
+//! Section 3.1: "We started the tests with 8 heterogeneous bins. The first
+//! has a capacity of 500,000 blocks, for the other bins the size is
+//! increased by 100,000 blocks with each bin, so the last bin has a
+//! capacity of 1,200,000 blocks. To show what happens if we replace smaller
+//! bins by bigger ones we added two times two bins. The new bins are
+//! growing by the same factor as the first did. Then we removed two times
+//! the two smallest bins." (Figures 2 and 4.)
+//!
+//! Figure 3/5 use add/remove-at-the-ends variants over heterogeneous and
+//! homogeneous bins, which [`ChangeKind`] + [`adaptivity_pair`] produce.
+
+use rshare_core::{Bin, BinId, BinSet};
+
+/// Base capacity of the smallest initial bin (blocks).
+pub const BASE_CAPACITY: u64 = 500_000;
+/// Capacity increment between consecutive bins (blocks).
+pub const CAPACITY_STEP: u64 = 100_000;
+/// Number of bins in the initial configuration.
+pub const INITIAL_BINS: usize = 8;
+
+/// One stage of the Figure 2/4 scenario.
+#[derive(Debug, Clone)]
+pub struct Stage {
+    /// Human-readable label used in the figure ("8 Disks", "10 Disks", …).
+    pub label: &'static str,
+    /// The bin configuration at this stage.
+    pub bins: BinSet,
+}
+
+/// Builds the five stages of the paper's fairness experiment:
+/// 8 → 10 → 12 → 10 → 8 bins.
+///
+/// Bin `i` (0-based) has capacity `500,000 + i · 100,000`; growth appends
+/// bins continuing the progression; shrinking removes the two smallest
+/// bins twice.
+///
+/// # Example
+///
+/// ```
+/// let stages = rshare_workload::scenario::paper_scenario();
+/// assert_eq!(stages.len(), 5);
+/// assert_eq!(stages[0].bins.len(), 8);
+/// assert_eq!(stages[2].bins.len(), 12);
+/// assert_eq!(stages[4].bins.len(), 8);
+/// ```
+#[must_use]
+pub fn paper_scenario() -> Vec<Stage> {
+    let cap = |i: u64| BASE_CAPACITY + i * CAPACITY_STEP;
+    let bins_for = |ids: std::ops::Range<u64>| {
+        BinSet::new(ids.map(|i| Bin::new(i, cap(i)).expect("positive capacity")))
+            .expect("valid scenario bins")
+    };
+    let eight = bins_for(0..8);
+    let ten = bins_for(0..10);
+    let twelve = bins_for(0..12);
+    // Remove the two smallest (ids 0 and 1), then the next two (2 and 3).
+    let ten_shrunk = bins_for(2..12);
+    let eight_shrunk = bins_for(4..12);
+    vec![
+        Stage {
+            label: "8 disks",
+            bins: eight,
+        },
+        Stage {
+            label: "10 disks",
+            bins: ten,
+        },
+        Stage {
+            label: "12 disks",
+            bins: twelve,
+        },
+        Stage {
+            label: "10 disks (shrunk)",
+            bins: ten_shrunk,
+        },
+        Stage {
+            label: "8 disks (shrunk)",
+            bins: eight_shrunk,
+        },
+    ]
+}
+
+/// The kind of membership change measured in the adaptivity experiments
+/// (Figures 3 and 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChangeKind {
+    /// Add a bin bigger than every existing one (head of the list).
+    AddBiggest,
+    /// Add a bin smaller than every existing one (tail of the list).
+    AddSmallest,
+    /// Remove the biggest bin.
+    RemoveBiggest,
+    /// Remove the smallest bin.
+    RemoveSmallest,
+}
+
+impl ChangeKind {
+    /// All four change kinds, in the order Figure 3 reports them.
+    pub const ALL: [Self; 4] = [
+        Self::AddBiggest,
+        Self::AddSmallest,
+        Self::RemoveBiggest,
+        Self::RemoveSmallest,
+    ];
+
+    /// Short label for reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::AddBiggest => "add biggest",
+            Self::AddSmallest => "add smallest",
+            Self::RemoveBiggest => "remove biggest",
+            Self::RemoveSmallest => "remove smallest",
+        }
+    }
+}
+
+/// A heterogeneous base configuration of `n` bins following the paper's
+/// progression, with ids leaving room above and below for insertions.
+#[must_use]
+pub fn heterogeneous_bins(n: usize) -> BinSet {
+    BinSet::new((0..n as u64).map(|i| {
+        Bin::new(1_000 + i, BASE_CAPACITY + i * CAPACITY_STEP).expect("positive capacity")
+    }))
+    .expect("valid bins")
+}
+
+/// A homogeneous base configuration of `n` bins of equal capacity.
+#[must_use]
+pub fn homogeneous_bins(n: usize) -> BinSet {
+    BinSet::new(
+        (0..n as u64).map(|i| Bin::new(1_000 + i, BASE_CAPACITY).expect("positive capacity")),
+    )
+    .expect("valid bins")
+}
+
+/// Applies a [`ChangeKind`] to `base`, returning `(before, after, affected)`
+/// where `affected` is the id of the added or removed bin.
+///
+/// For additions to homogeneous systems the new bin has the same capacity
+/// as the others; its position in the scan order (head or tail of the
+/// list) is controlled through the tie-breaking identifier, mirroring the
+/// paper's "where in the list of bins a change happens".
+///
+/// # Panics
+///
+/// Panics if `base` is empty (scenario construction guarantees otherwise).
+#[must_use]
+pub fn adaptivity_pair(base: &BinSet, kind: ChangeKind) -> (BinSet, BinSet, BinId) {
+    let first = base.bins().first().expect("non-empty base");
+    let last = base.bins().last().expect("non-empty base");
+    match kind {
+        ChangeKind::AddBiggest => {
+            // Strictly bigger capacity for heterogeneous bases; for
+            // homogeneous bases the same capacity with a smaller id puts
+            // the bin at the head of the list.
+            let homogeneous = first.capacity() == last.capacity();
+            let cap = if homogeneous {
+                first.capacity()
+            } else {
+                first.capacity() + CAPACITY_STEP
+            };
+            let bin = Bin::new(1, cap).expect("positive capacity");
+            let after = base.with_bin(bin).expect("fresh id");
+            (base.clone(), after, bin.id())
+        }
+        ChangeKind::AddSmallest => {
+            let homogeneous = first.capacity() == last.capacity();
+            let cap = if homogeneous {
+                last.capacity()
+            } else {
+                last.capacity() - CAPACITY_STEP
+            };
+            let bin = Bin::new(9_999, cap).expect("positive capacity");
+            let after = base.with_bin(bin).expect("fresh id");
+            (base.clone(), after, bin.id())
+        }
+        ChangeKind::RemoveBiggest => {
+            let id = first.id();
+            (base.clone(), base.without_bin(id).expect("present"), id)
+        }
+        ChangeKind::RemoveSmallest => {
+            let id = last.id();
+            (base.clone(), base.without_bin(id).expect("present"), id)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_capacities_match_paper() {
+        let stages = paper_scenario();
+        let first = &stages[0].bins;
+        assert_eq!(first.bins().last().unwrap().capacity(), 500_000);
+        assert_eq!(first.bins().first().unwrap().capacity(), 1_200_000);
+        let twelve = &stages[2].bins;
+        assert_eq!(twelve.bins().first().unwrap().capacity(), 1_600_000);
+        let final_eight = &stages[4].bins;
+        assert_eq!(final_eight.len(), 8);
+        assert_eq!(final_eight.bins().last().unwrap().capacity(), 900_000);
+    }
+
+    #[test]
+    fn adaptivity_pairs_affect_the_right_bin() {
+        let het = heterogeneous_bins(8);
+        let (before, after, id) = adaptivity_pair(&het, ChangeKind::AddBiggest);
+        assert_eq!(after.len(), before.len() + 1);
+        assert_eq!(after.bins()[0].id(), id, "new biggest bin heads the list");
+        let (_, after, id) = adaptivity_pair(&het, ChangeKind::AddSmallest);
+        assert_eq!(after.bins().last().unwrap().id(), id);
+        let (_, after, id) = adaptivity_pair(&het, ChangeKind::RemoveBiggest);
+        assert_eq!(after.len(), het.len() - 1);
+        assert!(after.get(id).is_none());
+        let (_, after, id) = adaptivity_pair(&het, ChangeKind::RemoveSmallest);
+        assert!(after.get(id).is_none());
+    }
+
+    #[test]
+    fn homogeneous_insertion_position_via_tie_break() {
+        let hom = homogeneous_bins(6);
+        let (_, after, id) = adaptivity_pair(&hom, ChangeKind::AddBiggest);
+        assert_eq!(after.bins()[0].id(), id, "head insertion");
+        let (_, after, id) = adaptivity_pair(&hom, ChangeKind::AddSmallest);
+        assert_eq!(after.bins().last().unwrap().id(), id, "tail insertion");
+    }
+
+    #[test]
+    fn labels() {
+        for kind in ChangeKind::ALL {
+            assert!(!kind.label().is_empty());
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Synthetic I/O trace generation and replay.
+//!
+//! The paper's experiments bulk-load blocks and measure distribution; a
+//! storage system in production sees a *mixed* stream — reads and writes,
+//! sequential runs, skewed popularity. [`TraceGenerator`] produces such
+//! streams reproducibly, and the `trace_replay` example drives a cluster
+//! with them, turning the fairness guarantees into end-to-end throughput
+//! observations.
+
+use rand::{Rng, SeedableRng};
+
+/// One operation of a synthetic trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceOp {
+    /// Read the block at the given logical address.
+    Read {
+        /// Logical block address.
+        lba: u64,
+    },
+    /// Write the block at the given logical address.
+    Write {
+        /// Logical block address.
+        lba: u64,
+    },
+}
+
+impl TraceOp {
+    /// The logical block address the operation touches.
+    #[must_use]
+    pub fn lba(&self) -> u64 {
+        match *self {
+            Self::Read { lba } | Self::Write { lba } => lba,
+        }
+    }
+
+    /// `true` for read operations.
+    #[must_use]
+    pub fn is_read(&self) -> bool {
+        matches!(self, Self::Read { .. })
+    }
+}
+
+/// Configuration of a synthetic trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceConfig {
+    /// Logical address space in blocks.
+    pub address_space: u64,
+    /// Fraction of operations that are reads, in `[0, 1]`.
+    pub read_fraction: f64,
+    /// Mean length of sequential runs (1 = purely random access).
+    pub mean_run_length: u32,
+    /// Fraction of accesses directed at the hot set, in `[0, 1)`.
+    pub hot_fraction: f64,
+    /// Size of the hot set as a fraction of the address space, in
+    /// `(0, 1]`.
+    pub hot_set_fraction: f64,
+}
+
+impl Default for TraceConfig {
+    /// A mixed OLTP-ish default: 70 % reads, short runs, 80/20 skew.
+    fn default() -> Self {
+        Self {
+            address_space: 100_000,
+            read_fraction: 0.7,
+            mean_run_length: 4,
+            hot_fraction: 0.8,
+            hot_set_fraction: 0.2,
+        }
+    }
+}
+
+/// A reproducible synthetic trace stream.
+///
+/// # Example
+///
+/// ```
+/// use rshare_workload::trace::{TraceConfig, TraceGenerator};
+///
+/// let mut gen = TraceGenerator::new(TraceConfig::default(), 42);
+/// let ops: Vec<_> = (0..100).map(|_| gen.next_op()).collect();
+/// assert!(ops.iter().any(|op| op.is_read()));
+/// assert!(ops.iter().any(|op| !op.is_read()));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    config: TraceConfig,
+    rng: rand::rngs::StdRng,
+    /// Remaining operations in the current sequential run.
+    run_left: u32,
+    /// Next address of the current run.
+    run_next: u64,
+    /// Whether the current run is reads or writes.
+    run_is_read: bool,
+}
+
+impl TraceGenerator {
+    /// Creates a generator for `config`, seeded for reproducibility.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is out of range (zero address space,
+    /// fractions outside `[0, 1]`, zero run length or hot set).
+    #[must_use]
+    pub fn new(config: TraceConfig, seed: u64) -> Self {
+        assert!(config.address_space > 0, "empty address space");
+        assert!(
+            (0.0..=1.0).contains(&config.read_fraction),
+            "read fraction out of range"
+        );
+        assert!(config.mean_run_length >= 1, "runs must have length >= 1");
+        assert!(
+            (0.0..1.0).contains(&config.hot_fraction),
+            "hot fraction out of range"
+        );
+        assert!(
+            config.hot_set_fraction > 0.0 && config.hot_set_fraction <= 1.0,
+            "hot set fraction out of range"
+        );
+        Self {
+            config,
+            rng: rand::rngs::StdRng::seed_from_u64(seed),
+            run_left: 0,
+            run_next: 0,
+            run_is_read: true,
+        }
+    }
+
+    /// Produces the next trace operation.
+    pub fn next_op(&mut self) -> TraceOp {
+        if self.run_left == 0 {
+            // Start a new run: pick its head address, length and kind.
+            let hot_blocks =
+                ((self.config.address_space as f64) * self.config.hot_set_fraction) as u64;
+            let hot_blocks = hot_blocks.max(1);
+            let base = if self.rng.gen::<f64>() < self.config.hot_fraction {
+                self.rng.gen_range(0..hot_blocks)
+            } else {
+                self.rng.gen_range(0..self.config.address_space)
+            };
+            // Geometric-ish run length with the configured mean.
+            let mean = f64::from(self.config.mean_run_length);
+            let mut len = 1u32;
+            while f64::from(len) < mean * 4.0 && self.rng.gen::<f64>() < 1.0 - 1.0 / mean {
+                len += 1;
+            }
+            self.run_left = len;
+            self.run_next = base;
+            self.run_is_read = self.rng.gen::<f64>() < self.config.read_fraction;
+        }
+        let lba = self.run_next % self.config.address_space;
+        self.run_next = self.run_next.wrapping_add(1);
+        self.run_left -= 1;
+        if self.run_is_read {
+            TraceOp::Read { lba }
+        } else {
+            TraceOp::Write { lba }
+        }
+    }
+}
+
+impl Iterator for TraceGenerator {
+    type Item = TraceOp;
+
+    fn next(&mut self) -> Option<TraceOp> {
+        Some(self.next_op())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproducible() {
+        let config = TraceConfig::default();
+        let a: Vec<_> = TraceGenerator::new(config, 7).take(200).collect();
+        let b: Vec<_> = TraceGenerator::new(config, 7).take(200).collect();
+        assert_eq!(a, b);
+        let c: Vec<_> = TraceGenerator::new(config, 8).take(200).collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn read_fraction_respected() {
+        let config = TraceConfig {
+            read_fraction: 0.7,
+            mean_run_length: 1,
+            ..TraceConfig::default()
+        };
+        let ops: Vec<_> = TraceGenerator::new(config, 3).take(40_000).collect();
+        let reads = ops.iter().filter(|o| o.is_read()).count();
+        let frac = reads as f64 / ops.len() as f64;
+        assert!((frac - 0.7).abs() < 0.02, "read fraction {frac}");
+    }
+
+    #[test]
+    fn addresses_in_range_and_skewed() {
+        let config = TraceConfig {
+            address_space: 10_000,
+            hot_fraction: 0.8,
+            hot_set_fraction: 0.1,
+            ..TraceConfig::default()
+        };
+        let ops: Vec<_> = TraceGenerator::new(config, 11).take(40_000).collect();
+        let hot_cut = 1_000u64; // 10 % of the space
+        let mut hot = 0usize;
+        for op in &ops {
+            assert!(op.lba() < 10_000);
+            if op.lba() < hot_cut {
+                hot += 1;
+            }
+        }
+        let hot_frac = hot as f64 / ops.len() as f64;
+        // ~80 % hot + ~10 % of the cold draws landing in the hot range.
+        assert!(hot_frac > 0.7, "hot share {hot_frac}");
+    }
+
+    #[test]
+    fn sequential_runs_present() {
+        let config = TraceConfig {
+            mean_run_length: 8,
+            ..TraceConfig::default()
+        };
+        let ops: Vec<_> = TraceGenerator::new(config, 5).take(10_000).collect();
+        let sequential_pairs = ops
+            .windows(2)
+            .filter(|w| w[1].lba() == w[0].lba() + 1)
+            .count();
+        // With mean run length 8, most consecutive pairs are sequential.
+        let frac = sequential_pairs as f64 / (ops.len() - 1) as f64;
+        assert!(frac > 0.6, "sequential fraction {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty address space")]
+    fn zero_space_rejected() {
+        let config = TraceConfig {
+            address_space: 0,
+            ..TraceConfig::default()
+        };
+        let _ = TraceGenerator::new(config, 1);
+    }
+}

@@ -1,0 +1,90 @@
+//! Capacity planning with the paper's Section 2 theory.
+//!
+//! Given a proposed pool of disks and a replication requirement, answer
+//! the operator questions the capacity lemmas settle exactly: how much
+//! data fits (Lemma 2.2), which disks are partially wasted, what a naive
+//! `B / k` estimate would over-promise, and how much a trivial replication
+//! layer would lose on top (Lemma 2.4).
+//!
+//! Run with: `cargo run --example capacity_planning`
+
+use redundant_share::placement::{
+    capacity, BinSet, PlacementStrategy, RedundantShare, TrivialReplication,
+};
+
+fn analyse(name: &str, capacities: &[u64], k: usize) {
+    println!("\n== {name}: disks {capacities:?}, k = {k} ==");
+    let mut sorted = capacities.to_vec();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    let total: u64 = sorted.iter().sum();
+    let naive = total / k as u64;
+    let real = capacity::max_balls(&sorted, k);
+    println!("  raw capacity           : {total} blocks");
+    println!("  naive estimate B/k     : {naive} blocks of data");
+    println!("  actual maximum (L2.2)  : {real} blocks of data");
+    if naive > real {
+        println!(
+            "  over-promise caught    : {} blocks ({:.1}% of the naive estimate)",
+            naive - real,
+            100.0 * (naive - real) as f64 / naive as f64
+        );
+    }
+    let weights = capacity::optimal_weights(&sorted, k);
+    for (raw, adj) in sorted.iter().zip(&weights) {
+        if (*raw as f64 - adj).abs() > 1e-9 {
+            println!(
+                "  disk of {raw} blocks: only {adj:.0} usable — too large for k = {k} \
+                 redundancy in this pool"
+            );
+        }
+    }
+
+    // How much of the achievable capacity would a trivial replication
+    // layer actually reach before its most-loaded disk fills up?
+    let bins = BinSet::from_capacities(sorted.iter().copied()).unwrap();
+    let trivial = TrivialReplication::new(&bins, k).unwrap();
+    let fair = RedundantShare::new(&bins, k).unwrap();
+    let probe = 100_000u64;
+    for (label, strat) in [
+        ("trivial k-draws", &trivial as &dyn PlacementStrategy),
+        ("redundant share", &fair as &dyn PlacementStrategy),
+    ] {
+        let mut counts = vec![0u64; sorted.len()];
+        let mut out = Vec::new();
+        for ball in 0..probe {
+            strat.place_into(ball, &mut out);
+            for id in &out {
+                let pos = strat.bin_ids().iter().position(|b| b == id).unwrap();
+                counts[pos] += 1;
+            }
+        }
+        // Effective storable balls before the relatively fullest disk
+        // overflows, as a fraction of the true maximum.
+        let effective = sorted
+            .iter()
+            .zip(&counts)
+            .filter(|(_, &c)| c > 0)
+            .map(|(&cap, &c)| cap as f64 / c as f64 * probe as f64)
+            .fold(f64::INFINITY, f64::min);
+        println!(
+            "  {label:<16}: reaches {:.1}% of the achievable capacity",
+            100.0 * effective / real as f64
+        );
+    }
+}
+
+fn main() {
+    println!("Capacity planning with Lemmas 2.1 / 2.2 (ICDCS 2007, Section 2)");
+    // A balanced pool: everything usable.
+    analyse("balanced pool", &[4_000, 3_500, 3_000, 2_500, 2_000], 2);
+    // One huge disk: mirroring cannot use it fully.
+    analyse("one oversized disk", &[16_000, 3_000, 2_000, 1_000], 2);
+    // Paper's Figure 1 shape.
+    analyse("figure 1 pool", &[2_000, 1_000, 1_000], 2);
+    // Triple replication over mixed generations.
+    analyse(
+        "mixed generations, k = 3",
+        &[8_000, 8_000, 4_000, 2_000, 1_000],
+        3,
+    );
+}

@@ -1,0 +1,92 @@
+//! # redundant-share
+//!
+//! Fair, redundant and adaptive data placement for heterogeneous storage —
+//! a full reproduction of **Brinkmann, Effert, Meyer auf der Heide,
+//! Scheideler: "Dynamic and Redundant Data Placement" (ICDCS 2007)**.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`placement`] — the paper's contribution: capacity theory
+//!   (Lemmas 2.1/2.2), `LinMirror`, k-fold `RedundantShare`, the O(k)
+//!   `FastRedundantShare`, and the trivial baseline.
+//! * [`hashing`] — stable hashing and fair single-copy strategies
+//!   (weighted rendezvous, consistent hashing, Share).
+//! * [`erasure`] — XOR parity, EVENODD, RDP and Reed–Solomon codes for
+//!   erasure-coded redundancy groups.
+//! * [`storage`] — the block-level storage virtualization layer: clusters
+//!   of simulated devices, migration, failure and rebuild, and a
+//!   byte-addressed virtual disk.
+//! * [`rush`] — the RUSH_P-style prior-work baseline.
+//! * [`workload`] — experiment scenarios, fairness metrics and movement
+//!   accounting used by the evaluation harness.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use redundant_share::placement::{BinSet, PlacementStrategy, RedundantShare};
+//!
+//! let bins = BinSet::from_capacities([500_000, 800_000, 1_200_000]).unwrap();
+//! let strat = RedundantShare::new(&bins, 2).unwrap();
+//! let copies = strat.place(0xB10C);
+//! assert_eq!(copies.len(), 2);
+//! assert_ne!(copies[0], copies[1]);
+//! ```
+//!
+//! Or run a whole virtualized cluster:
+//!
+//! ```
+//! use redundant_share::storage::{Redundancy, StorageCluster};
+//!
+//! let mut cluster = StorageCluster::builder()
+//!     .block_size(64)
+//!     .redundancy(Redundancy::Mirror { copies: 2 })
+//!     .device(0, 1_000)
+//!     .device(1, 2_000)
+//!     .device(2, 2_400)
+//!     .build()
+//!     .unwrap();
+//! cluster.write_block(7, &[1u8; 64]).unwrap();
+//! assert_eq!(cluster.read_block(7).unwrap(), vec![1u8; 64]);
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios and the
+//! `rshare-bench` crate for the binaries that regenerate every figure and
+//! table of the paper's evaluation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod paper;
+
+/// The placement strategies and capacity theory (re-export of
+/// [`rshare_core`]).
+pub mod placement {
+    pub use rshare_core::*;
+}
+
+/// Hashing primitives and fair single-copy strategies (re-export of
+/// [`rshare_hash`]).
+pub mod hashing {
+    pub use rshare_hash::*;
+}
+
+/// Erasure codes (re-export of [`rshare_erasure`]).
+pub mod erasure {
+    pub use rshare_erasure::*;
+}
+
+/// Block-level storage virtualization (re-export of [`rshare_vds`]).
+pub mod storage {
+    pub use rshare_vds::*;
+}
+
+/// The RUSH_P-style baseline (re-export of [`rshare_rush`]).
+pub mod rush {
+    pub use rshare_rush::*;
+}
+
+/// Experiment scenarios, metrics and movement accounting (re-export of
+/// [`rshare_workload`]).
+pub mod workload {
+    pub use rshare_workload::*;
+}

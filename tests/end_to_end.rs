@@ -1,0 +1,139 @@
+//! Cross-crate integration tests through the facade API.
+
+use redundant_share::erasure::{ErasureCode, ReedSolomon};
+use redundant_share::placement::{BinSet, LinMirror, PlacementStrategy, RedundantShare};
+use redundant_share::storage::{Redundancy, StorageCluster, VirtualDisk};
+use redundant_share::workload::scenario::paper_scenario;
+use redundant_share::workload::{measure_fairness, measure_movement};
+
+#[test]
+fn placement_feeds_storage_feeds_erasure() {
+    // A cluster using RS(3, 2) must put shard i of block b exactly where
+    // an equivalent standalone strategy puts copy i of ball b.
+    let mut cluster = StorageCluster::builder()
+        .block_size(24)
+        .redundancy(Redundancy::ReedSolomon { data: 3, parity: 2 })
+        .device(0, 10_000)
+        .device(1, 12_000)
+        .device(2, 14_000)
+        .device(3, 16_000)
+        .device(4, 18_000)
+        .device(5, 20_000)
+        .build()
+        .unwrap();
+    let bins = BinSet::new(
+        (0..6u64).map(|i| redundant_share::placement::Bin::new(i, 10_000 + i * 2_000).unwrap()),
+    )
+    .unwrap();
+    let reference = RedundantShare::new(&bins, 5).unwrap();
+    for lba in 0..500u64 {
+        cluster.write_block(lba, &[lba as u8; 24]).unwrap();
+        let expect: Vec<u64> = reference.place(lba).iter().map(|b| b.raw()).collect();
+        assert_eq!(cluster.placement(lba), expect, "lba {lba}");
+    }
+    // The erasure code used internally matches a standalone RS(3, 2).
+    let rs = ReedSolomon::new(3, 2).unwrap();
+    assert_eq!(rs.total_shards(), 5);
+}
+
+#[test]
+fn paper_scenario_runs_on_the_full_stack() {
+    // Walk the 8 → 10 → 12 → 10 → 8 scenario on a (scaled-down) cluster
+    // and verify fairness and data integrity at every stage.
+    let scale = 100; // scenario capacities / 100 to keep the test fast
+    let stages = paper_scenario();
+    let initial = &stages[0].bins;
+    let mut builder = StorageCluster::builder()
+        .block_size(16)
+        .redundancy(Redundancy::Mirror { copies: 2 });
+    for bin in initial.bins() {
+        builder = builder.device(bin.id().raw(), bin.capacity() / scale);
+    }
+    let mut cluster = builder.build().unwrap();
+    let blocks = 30_000u64;
+    for lba in 0..blocks {
+        cluster.write_block(lba, &[lba as u8; 16]).unwrap();
+    }
+    // Stage transitions: compute device-level diffs from the scenario.
+    for window in stages.windows(2) {
+        let (from, to) = (&window[0].bins, &window[1].bins);
+        for bin in to.bins() {
+            if from.get(bin.id()).is_none() {
+                cluster
+                    .add_device(bin.id().raw(), bin.capacity() / scale)
+                    .unwrap();
+            }
+        }
+        for bin in from.bins() {
+            if to.get(bin.id()).is_none() {
+                cluster.remove_device(bin.id().raw()).unwrap();
+            }
+        }
+        // Fairness at this stage: utilisation spread stays tight.
+        let util = cluster.utilization();
+        let fractions: Vec<f64> = util
+            .iter()
+            .map(|(_, used, cap)| *used as f64 / *cap as f64)
+            .collect();
+        let avg = fractions.iter().sum::<f64>() / fractions.len() as f64;
+        for f in &fractions {
+            assert!(
+                (f - avg).abs() / avg < 0.10,
+                "stage utilisation spread too wide: {fractions:?}"
+            );
+        }
+    }
+    // All data still present after 4 reconfigurations.
+    assert_eq!(cluster.scrub().unwrap(), 0);
+    for lba in (0..blocks).step_by(101) {
+        assert_eq!(cluster.read_block(lba).unwrap(), vec![lba as u8; 16]);
+    }
+}
+
+#[test]
+fn linmirror_and_kreplication_agree_on_k2_shares() {
+    let bins = BinSet::from_capacities([900_000, 800_000, 700_000, 600_000, 500_000]).unwrap();
+    let mirror = LinMirror::new(&bins).unwrap();
+    let general = RedundantShare::new(&bins, 2).unwrap();
+    let a = measure_fairness(&mirror, 60_000);
+    let b = measure_fairness(&general, 60_000);
+    for (x, y) in a.shares.iter().zip(&b.shares) {
+        assert!((x - y).abs() < 0.02, "LinMirror {x} vs k-replication {y}");
+    }
+}
+
+#[test]
+fn virtual_disk_survives_scenario_changes() {
+    let cluster = StorageCluster::builder()
+        .block_size(32)
+        .redundancy(Redundancy::Mirror { copies: 3 })
+        .device(0, 20_000)
+        .device(1, 20_000)
+        .device(2, 20_000)
+        .device(3, 20_000)
+        .build()
+        .unwrap();
+    let mut disk = VirtualDisk::new(cluster);
+    let message = b"the quick brown fox jumps over the lazy dog".repeat(20);
+    disk.write_at(1_234, &message).unwrap();
+    disk.cluster_mut().add_device(4, 20_000).unwrap();
+    disk.cluster_mut().fail_device(0).unwrap();
+    disk.cluster_mut().fail_device(1).unwrap(); // 3-way mirror survives 2
+    assert_eq!(disk.read_at(1_234, message.len()).unwrap(), message);
+    disk.cluster_mut().rebuild().unwrap();
+    assert_eq!(disk.read_at(1_234, message.len()).unwrap(), message);
+    assert_eq!(disk.cluster_mut().scrub().unwrap(), 0);
+}
+
+#[test]
+fn movement_measured_through_facade() {
+    let before = BinSet::from_capacities([100, 100, 100, 100, 100, 100]).unwrap();
+    let after = before
+        .with_bin(redundant_share::placement::Bin::new(77u64, 100).unwrap())
+        .unwrap();
+    let a = RedundantShare::new(&before, 2).unwrap();
+    let b = RedundantShare::new(&after, 2).unwrap();
+    let report = measure_movement(&a, &b, redundant_share::placement::BinId(77), 20_000);
+    assert!(report.replaced > 0);
+    assert!(report.factor() < 4.5, "factor {}", report.factor());
+}

@@ -1,0 +1,195 @@
+//! Model-based randomized testing of the storage cluster.
+//!
+//! A long random sequence of operations (write, overwrite, read, device
+//! add, graceful remove, crash + rebuild, scrub) is executed against the
+//! real cluster and a trivial in-memory model (`HashMap<lba, data>`).
+//! After every step the cluster must agree with the model on all data —
+//! the strongest end-to-end statement of the redundancy and migration
+//! machinery. Seeds are fixed so failures reproduce.
+
+use std::collections::HashMap;
+
+use redundant_share::hashing::splitmix64;
+use redundant_share::storage::{Redundancy, StorageCluster, VdsError};
+
+const BLOCK: usize = 24;
+
+struct Harness {
+    cluster: StorageCluster,
+    model: HashMap<u64, Vec<u8>>,
+    rng: u64,
+    next_device: u64,
+    online: Vec<u64>,
+}
+
+impl Harness {
+    fn new(redundancy: Redundancy, devices: usize, seed: u64) -> Self {
+        let mut builder = StorageCluster::builder()
+            .block_size(BLOCK)
+            .redundancy(redundancy);
+        let mut online = Vec::new();
+        for i in 0..devices as u64 {
+            builder = builder.device(i, 60_000);
+            online.push(i);
+        }
+        Self {
+            cluster: builder.build().expect("valid cluster"),
+            model: HashMap::new(),
+            rng: seed,
+            next_device: devices as u64,
+            online,
+        }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.rng = splitmix64(self.rng);
+        self.rng
+    }
+
+    fn payload(&mut self, lba: u64) -> Vec<u8> {
+        let tag = self.next();
+        (0..BLOCK)
+            .map(|i| (tag as u8).wrapping_add(lba as u8).wrapping_add(i as u8))
+            .collect()
+    }
+
+    fn min_devices(&self) -> usize {
+        self.cluster.redundancy().total_shards()
+    }
+
+    fn step(&mut self) {
+        let roll = self.next() % 100;
+        match roll {
+            // 50 %: write or overwrite a block.
+            0..=49 => {
+                let lba = self.next() % 3_000;
+                let data = self.payload(lba);
+                self.cluster.write_block(lba, &data).expect("write");
+                self.model.insert(lba, data);
+            }
+            // 25 %: read a (maybe missing) block.
+            50..=74 => {
+                let lba = self.next() % 3_000;
+                match (self.cluster.read_block(lba), self.model.get(&lba)) {
+                    (Ok(got), Some(want)) => assert_eq!(&got, want, "lba {lba}"),
+                    (Err(VdsError::BlockNotFound { .. }), None) => {}
+                    (got, want) => {
+                        panic!("divergence at lba {lba}: cluster {got:?} model {want:?}")
+                    }
+                }
+            }
+            // 6 %: add a device eagerly.
+            75..=80 => {
+                let id = self.next_device;
+                self.next_device += 1;
+                let cap = 40_000 + self.next() % 40_000;
+                self.cluster.add_device(id, cap).expect("add");
+                self.online.push(id);
+            }
+            // 4 %: add a device lazily, then advance the migration a bit.
+            81..=84 => {
+                let id = self.next_device;
+                self.next_device += 1;
+                let cap = 40_000 + self.next() % 40_000;
+                self.cluster.add_device_lazy(id, cap).expect("lazy add");
+                self.online.push(id);
+                let step = self.next() % 50;
+                self.cluster.migrate_step(step).expect("migrate step");
+            }
+            // 8 %: gracefully remove a random device (if enough remain).
+            85..=92 => {
+                if self.online.len() > self.min_devices() {
+                    let at = (self.next() as usize) % self.online.len();
+                    let id = self.online.swap_remove(at);
+                    self.cluster.remove_device(id).expect("drain");
+                }
+            }
+            // 7 %: crash one device and rebuild (within redundancy budget).
+            93..=99 => {
+                if self.online.len() > self.min_devices()
+                    && self.cluster.redundancy().tolerated_failures() >= 1
+                {
+                    let at = (self.next() as usize) % self.online.len();
+                    let id = self.online.swap_remove(at);
+                    self.cluster.fail_device(id).expect("fail");
+                    self.cluster.rebuild().expect("rebuild");
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    fn check_full_agreement(&mut self) {
+        // Advance any lazy migration partway so checks run in mixed state.
+        self.cluster.migrate_step(25).expect("migrate step");
+        assert_eq!(self.cluster.block_count() as usize, self.model.len());
+        let lbas: Vec<u64> = self.model.keys().copied().collect();
+        for lba in lbas {
+            let got = self.cluster.read_block(lba).expect("readable");
+            assert_eq!(&got, self.model.get(&lba).unwrap(), "lba {lba}");
+        }
+        assert_eq!(self.cluster.scrub().expect("scrub"), 0);
+    }
+}
+
+fn run(redundancy: Redundancy, devices: usize, steps: u32, seed: u64) {
+    let mut h = Harness::new(redundancy, devices, seed);
+    for step in 0..steps {
+        h.step();
+        if step % 100 == 99 {
+            h.check_full_agreement();
+        }
+    }
+    h.check_full_agreement();
+}
+
+#[test]
+fn model_mirror_2way() {
+    run(Redundancy::Mirror { copies: 2 }, 5, 600, 0xA11CE);
+}
+
+#[test]
+fn model_mirror_3way() {
+    run(Redundancy::Mirror { copies: 3 }, 6, 600, 0xB0B);
+}
+
+#[test]
+fn model_reed_solomon() {
+    run(
+        Redundancy::ReedSolomon { data: 3, parity: 2 },
+        7,
+        400,
+        0xCAFE,
+    );
+}
+
+#[test]
+fn model_rdp() {
+    run(Redundancy::Rdp { p: 3 }, 6, 400, 0xD00D);
+}
+
+#[test]
+fn model_xor_parity() {
+    run(Redundancy::XorParity { data: 2 }, 5, 400, 0xE66);
+}
+
+#[test]
+fn model_lrc() {
+    run(
+        Redundancy::LocalReconstruction {
+            groups: 2,
+            group_size: 2,
+            global_parity: 1,
+        },
+        8,
+        400,
+        0xF00F,
+    );
+}
+
+#[test]
+fn model_many_seeds_smoke() {
+    for seed in 1..=6u64 {
+        run(Redundancy::Mirror { copies: 2 }, 4, 200, seed);
+    }
+}

@@ -1,0 +1,188 @@
+//! Placement-engine throughput report: scalar vs batch vs parallel.
+//!
+//! Measures end-to-end placement throughput (placements per second) of the
+//! three query paths over [`RedundantShare`] — per-ball `place_into`, flat
+//! `place_batch_into`, and the multi-threaded [`PlacementEngine`] — for
+//! k ∈ {2, 3, 4} and n ∈ {16, 256, 4096}, prints a table, and writes the
+//! raw numbers to `BENCH_throughput.json` for machine consumption (CI
+//! smoke-checks that the file parses).
+//!
+//! Pass `--quick` to shrink the workload ~8× (CI smoke mode); the numbers
+//! get noisier but the report shape is identical.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use rshare_bench::{f, print_table, section};
+use rshare_core::{BinId, BinSet, PlacementEngine, PlacementStrategy, RedundantShare};
+
+/// Timing repetitions per cell; the best (minimum) time is reported.
+const REPS: usize = 3;
+
+struct Cell {
+    n: usize,
+    k: usize,
+    mode: &'static str,
+    balls: usize,
+    elapsed_ns: u128,
+}
+
+impl Cell {
+    fn placements_per_s(&self) -> f64 {
+        self.balls as f64 / (self.elapsed_ns as f64 / 1e9)
+    }
+}
+
+fn heterogeneous(n: usize) -> BinSet {
+    BinSet::from_capacities((0..n as u64).map(|i| 500_000 + i * 100_000)).expect("valid bins")
+}
+
+/// Workload size per configuration: the O(n) scan means fewer balls at
+/// large n keep the total runtime bounded while each cell still runs for
+/// tens of milliseconds.
+fn balls_for(n: usize, quick: bool) -> usize {
+    let full = match n {
+        0..=31 => 400_000,
+        32..=1023 => 100_000,
+        _ => 24_576,
+    };
+    if quick {
+        (full / 8).max(4_096)
+    } else {
+        full
+    }
+}
+
+/// Best-of-[`REPS`] wall-clock time of `run`, which must consume the whole
+/// ball set once per call.
+fn time_best<F: FnMut()>(mut run: F) -> u128 {
+    let mut best = u128::MAX;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        run();
+        best = best.min(start.elapsed().as_nanos());
+    }
+    best
+}
+
+fn measure(n: usize, k: usize, quick: bool, threads: usize) -> Vec<Cell> {
+    let strat = RedundantShare::new(&heterogeneous(n), k).expect("valid strategy");
+    let engine = PlacementEngine::with_threads(strat.clone(), threads);
+    let count = balls_for(n, quick);
+    let balls: Vec<u64> = (0..count as u64).map(|b| b.wrapping_mul(0x9E37)).collect();
+    let mut out: Vec<BinId> = Vec::with_capacity(count * k);
+    let mut cells = Vec::new();
+
+    let scalar = time_best(|| {
+        let mut group = Vec::with_capacity(k);
+        for &ball in &balls {
+            strat.place_into(black_box(ball), &mut group);
+            black_box(&group);
+        }
+    });
+    cells.push(Cell {
+        n,
+        k,
+        mode: "scalar",
+        balls: count,
+        elapsed_ns: scalar,
+    });
+
+    let batch = time_best(|| {
+        strat.place_batch_into(black_box(&balls), &mut out);
+        black_box(&out);
+    });
+    cells.push(Cell {
+        n,
+        k,
+        mode: "batch",
+        balls: count,
+        elapsed_ns: batch,
+    });
+
+    let parallel = time_best(|| {
+        engine.place_batch_into(black_box(&balls), &mut out);
+        black_box(&out);
+    });
+    cells.push(Cell {
+        n,
+        k,
+        mode: "parallel",
+        balls: count,
+        elapsed_ns: parallel,
+    });
+    cells
+}
+
+/// Hand-rolled JSON (no serde in the dependency set): the report is flat
+/// enough that string assembly stays readable.
+fn to_json(cells: &[Cell], threads: usize, quick: bool) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!(
+        "  \"config\": {{\"threads\": {threads}, \"quick\": {quick}, \"reps\": {REPS}}},\n"
+    ));
+    s.push_str("  \"results\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"n\": {}, \"k\": {}, \"mode\": \"{}\", \"balls\": {}, \"elapsed_ns\": {}, \"placements_per_s\": {:.1}}}{}\n",
+            c.n,
+            c.k,
+            c.mode,
+            c.balls,
+            c.elapsed_ns,
+            c.placements_per_s(),
+            if i + 1 == cells.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    section(&format!(
+        "Placement throughput — scalar vs batch vs parallel ({threads} thread(s){})",
+        if quick { ", quick mode" } else { "" }
+    ));
+
+    let mut cells = Vec::new();
+    for k in [2usize, 3, 4] {
+        for n in [16usize, 256, 4096] {
+            cells.extend(measure(n, k, quick, threads));
+        }
+    }
+
+    let mut rows = Vec::new();
+    for chunk in cells.chunks(3) {
+        let (scalar, batch, parallel) = (&chunk[0], &chunk[1], &chunk[2]);
+        rows.push(vec![
+            scalar.n.to_string(),
+            scalar.k.to_string(),
+            format!("{:.2}", scalar.placements_per_s() / 1e6),
+            format!("{:.2}", batch.placements_per_s() / 1e6),
+            format!("{:.2}", parallel.placements_per_s() / 1e6),
+            f(batch.placements_per_s() / scalar.placements_per_s()),
+            f(parallel.placements_per_s() / scalar.placements_per_s()),
+        ]);
+    }
+    print_table(
+        &[
+            "n",
+            "k",
+            "scalar M/s",
+            "batch M/s",
+            "parallel M/s",
+            "batch x",
+            "parallel x",
+        ],
+        &rows,
+    );
+
+    let json = to_json(&cells, threads, quick);
+    std::fs::write("BENCH_throughput.json", &json).expect("write BENCH_throughput.json");
+    println!(
+        "\nwrote BENCH_throughput.json ({} result rows)",
+        cells.len()
+    );
+}

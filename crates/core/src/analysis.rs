@@ -56,8 +56,18 @@ pub(crate) struct ScanModel {
     pub weights: Vec<f64>,
     /// `suffix[i] = Σ_{j ≥ i} weights[j]`; one extra trailing 0 entry.
     pub suffix: Vec<f64>,
-    /// `theta[r - 2][i] = θ(i, r)` for `r ∈ {2, …, k}` (empty for k < 2).
-    pub theta: Vec<Vec<f64>>,
+    /// `θ(i, r)` for `r ∈ {2, …, k}`, flattened row-major into one
+    /// contiguous buffer: row `r - 2` holds the `n` values for level `r`
+    /// (empty for k < 2). Contiguity keeps the placement hot loop on a
+    /// single streaming read instead of chasing one `Vec` per level.
+    pub theta: Vec<f64>,
+    /// `sat_cut[r - 2]`: start of the maximal *saturated suffix* at scan
+    /// level `r` — every `i ≥ sat_cut[r-2]` has effective θ(i, r) ≥ 1, so
+    /// the scan takes those bins unconditionally, without hashing. Always
+    /// `≤ n - r` (the forced-take state), hence also subsumes the
+    /// structural guard. Recomputed after calibration, which can move θ
+    /// values across the saturation boundary.
+    pub sat_cut: Vec<usize>,
     /// `head_boost[s]`: weight to use for bin `s` when it heads a
     /// `placeOneCopy` suffix (`b̂_s`; equals `weights[s]` when no correction
     /// is needed).
@@ -77,29 +87,65 @@ impl ScanModel {
         for i in (0..n).rev() {
             suffix[i] = suffix[i + 1] + weights[i];
         }
-        let mut theta: Vec<Vec<f64>> = Vec::new();
+        let mut theta = Vec::with_capacity(n * k.saturating_sub(1));
         for r in 2..=k {
-            let row: Vec<f64> = (0..n)
-                .map(|i| (r as f64 * weights[i] / suffix[i]).min(1.0))
-                .collect();
-            theta.push(row);
+            theta.extend((0..n).map(|i| (r as f64 * weights[i] / suffix[i]).min(1.0)));
         }
         let mut model = Self {
             k,
             weights,
             suffix,
             theta,
+            sat_cut: Vec::new(),
             head_boost: Vec::new(),
             max_residual: 0.0,
         };
         model.calibrate();
+        model.recompute_saturation_cutoffs();
         model
+    }
+
+    /// Index of `θ(i, r)` in the flattened buffer.
+    #[inline]
+    fn theta_idx(&self, i: usize, r: usize) -> usize {
+        (r - 2) * self.weights.len() + i
     }
 
     /// `θ(i, r)`; only defined for `2 ≤ r ≤ k`.
     #[inline]
     pub fn theta(&self, i: usize, r: usize) -> f64 {
-        self.theta[r - 2][i]
+        self.theta[self.theta_idx(i, r)]
+    }
+
+    /// The contiguous `θ(·, r)` row for scan level `r`; only defined for
+    /// `2 ≤ r ≤ k`. Lets hot loops stream one slice instead of indexing.
+    #[inline]
+    pub fn theta_row(&self, r: usize) -> &[f64] {
+        let n = self.weights.len();
+        &self.theta[(r - 2) * n..(r - 1) * n]
+    }
+
+    /// Start of the maximal saturated suffix at level `r`: every bin at or
+    /// beyond this index is taken unconditionally by the scan.
+    #[inline]
+    pub fn saturation_cut(&self, r: usize) -> usize {
+        self.sat_cut[r - 2]
+    }
+
+    /// Recomputes [`ScanModel::sat_cut`] from the current θ buffer. The
+    /// scan at level `r` never moves past bin `n - r` (the forced-take
+    /// state), so the cutoff scans leftwards from there.
+    fn recompute_saturation_cutoffs(&mut self) {
+        let n = self.weights.len();
+        self.sat_cut = (2..=self.k)
+            .map(|r| {
+                let mut cut = n - r;
+                while cut > 0 && self.theta[self.theta_idx(cut - 1, r)] >= 1.0 {
+                    cut -= 1;
+                }
+                cut
+            })
+            .collect();
     }
 
     /// `θ(i, r)` with the structural forced-take guard: once only `r` bins
@@ -227,9 +273,10 @@ impl ScanModel {
                     if mass <= 0.0 {
                         continue;
                     }
-                    let old = self.theta[r - 2][s];
+                    let old = self.theta(s, r);
                     let new = (old + delta / mass).clamp(0.0, 1.0);
-                    self.theta[r - 2][s] = new;
+                    let idx = self.theta_idx(s, r);
+                    self.theta[idx] = new;
                     delta -= (new - old) * mass;
                     if delta.abs() < EPS * self.k as f64 {
                         break;

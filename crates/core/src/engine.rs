@@ -1,0 +1,208 @@
+//! High-throughput driver for placement queries.
+//!
+//! Placement in this system is a pure function of `(strategy, ball)` —
+//! no query touches shared mutable state — so a batch of lookups is
+//! embarrassingly parallel. [`PlacementEngine`] exploits that: it shards a
+//! batch of balls into contiguous chunks, resolves the chunks on scoped OS
+//! threads (`std::thread::scope`; no runtime or external dependency), and
+//! writes each chunk's groups into a disjoint region of one flat output
+//! buffer.
+//!
+//! Because every ball's placement is deterministic and independent, the
+//! sharded result is **bit-identical** to the sequential scalar loop — the
+//! property tests of this crate pin that down. Parallelism changes only
+//! wall-clock time, never placements.
+
+use crate::bins::BinId;
+use crate::strategy::PlacementStrategy;
+
+/// Below this many balls per available thread the engine stays sequential:
+/// thread spawn/join overhead (~10 µs) dwarfs the placement work.
+const MIN_BALLS_PER_THREAD: usize = 256;
+
+/// A multi-threaded batch front-end over any [`PlacementStrategy`].
+///
+/// The engine owns the strategy and fans batched queries out across OS
+/// threads. Results use the same flat stride-`k` layout as
+/// [`PlacementStrategy::place_batch_into`]: the copies of `balls[j]` are
+/// `out[j * k..(j + 1) * k]`, in copy order.
+///
+/// # Example
+///
+/// ```
+/// use rshare_core::{BinSet, PlacementEngine, PlacementStrategy, RedundantShare};
+///
+/// let bins = BinSet::from_capacities([500, 400, 300, 200, 100]).unwrap();
+/// let strat = RedundantShare::new(&bins, 3).unwrap();
+/// let engine = PlacementEngine::new(strat);
+/// let balls: Vec<u64> = (0..10_000).collect();
+/// let flat = engine.place_batch(&balls);
+/// assert_eq!(flat.len(), balls.len() * 3);
+/// // Identical to the scalar path, element for element:
+/// assert_eq!(flat[30..33].to_vec(), engine.strategy().place(10));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PlacementEngine<S> {
+    strategy: S,
+    threads: usize,
+}
+
+impl<S: PlacementStrategy + Sync> PlacementEngine<S> {
+    /// Wraps `strategy`, sizing the thread pool to the machine's available
+    /// parallelism.
+    pub fn new(strategy: S) -> Self {
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        Self::with_threads(strategy, threads)
+    }
+
+    /// Wraps `strategy` with an explicit thread count (clamped to ≥ 1).
+    /// `with_threads(strategy, 1)` is a purely sequential engine.
+    pub fn with_threads(strategy: S, threads: usize) -> Self {
+        Self {
+            strategy,
+            threads: threads.max(1),
+        }
+    }
+
+    /// The wrapped strategy.
+    pub fn strategy(&self) -> &S {
+        &self.strategy
+    }
+
+    /// Returns the wrapped strategy, consuming the engine.
+    pub fn into_inner(self) -> S {
+        self.strategy
+    }
+
+    /// The maximum number of worker threads a batch is sharded over.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Places every ball of `balls` into the flat stride-`k` buffer `out`
+    /// (cleared first). A recycled `out` with sufficient capacity is not
+    /// reallocated.
+    ///
+    /// Batches too small to amortise thread spawn cost — or an engine
+    /// configured with one thread — run the strategy's own
+    /// [`PlacementStrategy::place_batch_into`] inline.
+    pub fn place_batch_into(&self, balls: &[u64], out: &mut Vec<BinId>) {
+        let threads = self
+            .threads
+            .min(balls.len() / MIN_BALLS_PER_THREAD.max(1))
+            .max(1);
+        if threads == 1 {
+            self.strategy.place_batch_into(balls, out);
+            return;
+        }
+        let k = self.strategy.replication();
+        out.clear();
+        out.resize(balls.len() * k, BinId(0));
+        let chunk = balls.len().div_ceil(threads);
+        let strategy = &self.strategy;
+        std::thread::scope(|scope| {
+            let mut ball_chunks = balls.chunks(chunk);
+            let mut out_chunks = out.chunks_mut(chunk * k);
+            // Run the first shard on the calling thread; spawn the rest.
+            let head_balls = ball_chunks.next().expect("non-empty batch");
+            let head_out = out_chunks.next().expect("non-empty batch");
+            for (shard_balls, shard_out) in ball_chunks.zip(out_chunks) {
+                scope.spawn(move || fill_shard(strategy, shard_balls, shard_out));
+            }
+            fill_shard(strategy, head_balls, head_out);
+        });
+    }
+
+    /// Places every ball of `balls`, returning a fresh flat stride-`k`
+    /// buffer.
+    pub fn place_batch(&self, balls: &[u64]) -> Vec<BinId> {
+        let mut out = Vec::with_capacity(balls.len() * self.strategy.replication());
+        self.place_batch_into(balls, &mut out);
+        out
+    }
+}
+
+/// Resolves one shard through the strategy's batch path, then copies the
+/// groups into the shard's disjoint region of the shared output buffer.
+fn fill_shard<S: PlacementStrategy>(strategy: &S, balls: &[u64], out: &mut [BinId]) {
+    let mut local = Vec::with_capacity(out.len());
+    strategy.place_batch_into(balls, &mut local);
+    out.copy_from_slice(&local);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bins::BinSet;
+    use crate::redundant_share::RedundantShare;
+
+    fn strategy(caps: &[u64], k: usize) -> RedundantShare {
+        let set = BinSet::from_capacities(caps.iter().copied()).unwrap();
+        RedundantShare::new(&set, k).unwrap()
+    }
+
+    #[test]
+    fn batch_matches_scalar() {
+        let strat = strategy(&[500, 400, 300, 200, 100], 3);
+        let balls: Vec<u64> = (0..1_000).map(|b| b * 7 + 3).collect();
+        let mut flat = Vec::new();
+        strat.place_batch_into(&balls, &mut flat);
+        assert_eq!(flat.len(), balls.len() * 3);
+        for (j, &ball) in balls.iter().enumerate() {
+            assert_eq!(&flat[j * 3..(j + 1) * 3], strat.place(ball).as_slice());
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bitwise() {
+        let strat = strategy(&[737, 386, 356, 331, 146, 127], 3);
+        let balls: Vec<u64> = (0..40_000).collect();
+        let sequential = PlacementEngine::with_threads(strat.clone(), 1).place_batch(&balls);
+        for threads in [2, 3, 4, 7] {
+            let engine = PlacementEngine::with_threads(strat.clone(), threads);
+            assert_eq!(engine.place_batch(&balls), sequential, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn small_batches_stay_inline_and_correct() {
+        let strat = strategy(&[40, 30, 20, 10], 2);
+        let engine = PlacementEngine::new(strat);
+        for len in [0usize, 1, 2, 255] {
+            let balls: Vec<u64> = (0..len as u64).collect();
+            let flat = engine.place_batch(&balls);
+            assert_eq!(flat.len(), len * 2);
+            for (j, &ball) in balls.iter().enumerate() {
+                assert_eq!(&flat[j * 2..(j + 1) * 2], engine.strategy().place(ball));
+            }
+        }
+    }
+
+    #[test]
+    fn uneven_shard_split_covers_every_ball() {
+        let strat = strategy(&[50, 40, 30, 20, 10], 2);
+        // 2049 balls over 4 threads: last shard is short.
+        let balls: Vec<u64> = (0..2_049).collect();
+        let engine = PlacementEngine::with_threads(strat.clone(), 4);
+        let flat = engine.place_batch(&balls);
+        assert_eq!(flat.len(), balls.len() * 2);
+        assert_eq!(
+            &flat[flat.len() - 2..],
+            strat.place(*balls.last().unwrap()).as_slice()
+        );
+    }
+
+    #[test]
+    fn reused_buffer_is_not_reallocated() {
+        let strat = strategy(&[50, 40, 30, 20, 10], 2);
+        let engine = PlacementEngine::with_threads(strat, 2);
+        let balls: Vec<u64> = (0..4_096).collect();
+        let mut out = Vec::with_capacity(balls.len() * 2);
+        engine.place_batch_into(&balls, &mut out);
+        let ptr = out.as_ptr();
+        let cap = out.capacity();
+        engine.place_batch_into(&balls, &mut out);
+        assert_eq!(out.as_ptr(), ptr, "reused buffer was reallocated");
+        assert_eq!(out.capacity(), cap);
+    }
+}

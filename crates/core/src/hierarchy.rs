@@ -276,18 +276,8 @@ mod tests {
         ]);
         let strat = DomainPlacement::new(devices, 2).unwrap();
         let want = strat.fair_shares();
-        let balls = 120_000u64;
-        let mut counts = vec![0u64; strat.bin_ids().len()];
-        let mut out = Vec::new();
-        for ball in 0..balls {
-            strat.place_into(ball, &mut out);
-            for id in &out {
-                let pos = strat.bin_ids().iter().position(|b| b == id).unwrap();
-                counts[pos] += 1;
-            }
-        }
-        for (i, (&c, w)) in counts.iter().zip(&want).enumerate() {
-            let got = c as f64 / balls as f64;
+        let shares = crate::test_util::empirical_shares(&strat, 120_000);
+        for (i, (got, w)) in shares.iter().zip(&want).enumerate() {
             assert!(
                 (got - w).abs() / w < 0.04,
                 "device {i}: got {got:.4} want {w:.4}"

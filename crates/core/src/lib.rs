@@ -50,6 +50,7 @@
 mod analysis;
 mod bins;
 pub mod capacity;
+mod engine;
 mod error;
 mod fast;
 mod hierarchy;
@@ -58,11 +59,14 @@ mod pps;
 mod redundant_share;
 mod strategy;
 mod table_based;
+#[cfg(test)]
+mod test_util;
 mod trivial;
 
 pub use bins::{Bin, BinId, BinSet};
+pub use engine::PlacementEngine;
 pub use error::PlacementError;
-pub use fast::FastRedundantShare;
+pub use fast::{FastRedundantShare, RebuildStats};
 pub use hierarchy::{DomainBin, DomainPlacement};
 pub use linmirror::LinMirror;
 pub use pps::SystematicPps;

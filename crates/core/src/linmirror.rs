@@ -167,17 +167,8 @@ mod tests {
         let bins = BinSet::from_capacities([500_000, 600_000, 700_000, 800_000, 900_000]).unwrap();
         let mirror = LinMirror::new(&bins).unwrap();
         let want = mirror.fair_shares();
-        let balls = 200_000u64;
-        let mut counts = [0u64; 5];
-        for ball in 0..balls {
-            let (p, s) = mirror.place_pair(ball);
-            for id in [p, s] {
-                let pos = mirror.bin_ids().iter().position(|b| *b == id).unwrap();
-                counts[pos] += 1;
-            }
-        }
-        for (i, (&c, w)) in counts.iter().zip(&want).enumerate() {
-            let got = c as f64 / balls as f64;
+        let shares = crate::test_util::empirical_shares(&mirror, 200_000);
+        for (i, (got, w)) in shares.iter().zip(&want).enumerate() {
             assert!(
                 (got - w).abs() / w < 0.02,
                 "bin {i}: got {got:.4} want {w:.4}"

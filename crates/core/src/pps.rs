@@ -130,16 +130,8 @@ mod tests {
         let bins = BinSet::from_capacities([500, 400, 300, 200, 100]).unwrap();
         let pps = SystematicPps::new(&bins, 2).unwrap();
         let want = pps.fair_shares();
-        let balls = 200_000u64;
-        let mut counts = [0u64; 5];
-        for ball in 0..balls {
-            for id in pps.place(ball) {
-                let pos = pps.bin_ids().iter().position(|b| *b == id).unwrap();
-                counts[pos] += 1;
-            }
-        }
-        for (i, (&c, w)) in counts.iter().zip(&want).enumerate() {
-            let got = c as f64 / balls as f64;
+        let shares = crate::test_util::empirical_shares(&pps, 200_000);
+        for (i, (got, w)) in shares.iter().zip(&want).enumerate() {
             assert!(
                 (got - w).abs() / w < 0.02,
                 "bin {i}: got {got:.4} want {w:.4}"

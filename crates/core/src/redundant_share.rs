@@ -128,10 +128,12 @@ impl<S: SingleCopySelector> RedundantShare<S> {
         let f = std::mem::size_of::<f64>();
         self.model.weights.len() * f
             + self.model.suffix.len() * f
-            + self.model.theta.iter().map(|t| t.len() * f).sum::<usize>()
+            + self.model.theta.len() * f
+            + self.model.sat_cut.len() * std::mem::size_of::<usize>()
             + self.model.head_boost.len() * f
             + self.ids.len() * std::mem::size_of::<BinId>()
             + self.names.len() * std::mem::size_of::<u64>()
+            + self.selector.memory_bytes()
     }
 
     /// The exact expected number of copies of one ball each bin receives,
@@ -200,7 +202,6 @@ impl<S: SingleCopySelector> PlacementStrategy for RedundantShare<S> {
 
     fn place_into(&self, ball: u64, out: &mut Vec<BinId>) {
         out.clear();
-        let n = self.names.len();
         let k = self.model.k;
         if k == 1 {
             let idx = self.place_last(ball, 0);
@@ -209,15 +210,22 @@ impl<S: SingleCopySelector> PlacementStrategy for RedundantShare<S> {
         }
         let mut r = k;
         let mut i = 0usize;
+        let mut theta_row = self.model.theta_row(r);
+        // Every bin at or beyond the cutoff has effective θ ≥ 1 — the
+        // maximal saturated suffix, which also covers the forced-take
+        // state where only r bins remain. Taking it without hashing keeps
+        // the per-bin cost of saturated regions to a comparison.
+        let mut sat_cut = self.model.saturation_cut(r);
         loop {
-            // Once only r bins remain the scan must take every one of them;
-            // the θ values are 1 there mathematically, and this guard makes
-            // it robust to floating-point rounding.
-            let must_take = n - i == r;
-            let theta = self.model.theta(i, r);
-            let take = must_take
-                || theta >= 1.0
-                || unit_f64(stable_hash3(ball, self.names[i], SCAN_DOMAIN)) < theta;
+            let take = if i >= sat_cut {
+                true
+            } else {
+                // Isolated saturated bins can sit left of the cutoff
+                // (saturation is not contiguous in general), so the θ ≥ 1
+                // fast path stays.
+                let theta = theta_row[i];
+                theta >= 1.0 || unit_f64(stable_hash3(ball, self.names[i], SCAN_DOMAIN)) < theta
+            };
             if take {
                 out.push(self.ids[i]);
                 r -= 1;
@@ -226,6 +234,8 @@ impl<S: SingleCopySelector> PlacementStrategy for RedundantShare<S> {
                     out.push(self.ids[idx]);
                     return;
                 }
+                theta_row = self.model.theta_row(r);
+                sat_cut = self.model.saturation_cut(r);
             }
             i += 1;
         }
@@ -249,18 +259,7 @@ mod tests {
         BinSet::from_capacities(caps.iter().copied()).unwrap()
     }
 
-    fn empirical_shares<S: SingleCopySelector>(strat: &RedundantShare<S>, balls: u64) -> Vec<f64> {
-        let mut counts = vec![0u64; strat.bin_ids().len()];
-        let mut out = Vec::new();
-        for ball in 0..balls {
-            strat.place_into(ball, &mut out);
-            for id in &out {
-                let pos = strat.bin_ids().iter().position(|b| b == id).unwrap();
-                counts[pos] += 1;
-            }
-        }
-        counts.iter().map(|&c| c as f64 / balls as f64).collect()
-    }
+    use crate::test_util::empirical_shares;
 
     #[test]
     fn construction_errors() {

@@ -34,6 +34,28 @@ pub trait PlacementStrategy {
         out
     }
 
+    /// Places every ball of `balls`, writing the groups back to back into
+    /// `out` with stride `k`: the copies of `balls[j]` occupy
+    /// `out[j * k..(j + 1) * k]` in copy order. `out` is cleared first; a
+    /// caller that recycles a vector of capacity `balls.len() * k` incurs
+    /// no allocation beyond the strategy's own per-call scratch.
+    ///
+    /// The default runs the scalar [`PlacementStrategy::place_into`] in a
+    /// loop and is what batched callers (engine shards, the read fan-out)
+    /// build on; strategies with cheaper amortised batch paths may
+    /// override it, but must produce identical output.
+    fn place_batch_into(&self, balls: &[u64], out: &mut Vec<BinId>) {
+        let k = self.replication();
+        out.clear();
+        out.reserve(balls.len() * k);
+        let mut group = Vec::with_capacity(k);
+        for &ball in balls {
+            self.place_into(ball, &mut group);
+            debug_assert_eq!(group.len(), k);
+            out.extend_from_slice(&group);
+        }
+    }
+
     /// The expected number of copies of a single ball each bin receives
     /// (aligned with [`PlacementStrategy::bin_ids`]). For a fair strategy
     /// this is `k · b'_i / Σ b'_j` with the Lemma 2.2 adjusted capacities;

@@ -1,0 +1,32 @@
+//! Helpers shared by the test modules of this crate.
+
+use std::collections::HashMap;
+
+use crate::bins::BinId;
+use crate::strategy::PlacementStrategy;
+
+/// Empirical per-bin placement share over balls `0..balls`, aligned with
+/// [`PlacementStrategy::bin_ids`]: entry `i` is the fraction of balls that
+/// put a copy on bin `i` (so the entries sum to `k`).
+///
+/// Tallying goes through an id → index map, O(1) per copy, instead of the
+/// O(n) `position()` scan the fairness tests used to inline — at the
+/// 10⁵-ball sample sizes those tests need, that scan dominated their
+/// runtime.
+pub(crate) fn empirical_shares(strat: &dyn PlacementStrategy, balls: u64) -> Vec<f64> {
+    let index: HashMap<BinId, usize> = strat
+        .bin_ids()
+        .iter()
+        .enumerate()
+        .map(|(pos, &id)| (id, pos))
+        .collect();
+    let mut counts = vec![0u64; index.len()];
+    let mut out = Vec::new();
+    for ball in 0..balls {
+        strat.place_into(ball, &mut out);
+        for id in &out {
+            counts[index[id]] += 1;
+        }
+    }
+    counts.iter().map(|&c| c as f64 / balls as f64).collect()
+}

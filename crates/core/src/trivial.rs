@@ -158,16 +158,7 @@ mod tests {
         // criticism applies to heterogeneous capacities only.
         let bins = BinSet::from_capacities([10; 6]).unwrap();
         let t = TrivialReplication::new(&bins, 2).unwrap();
-        let balls = 60_000u64;
-        let mut counts = vec![0u64; 6];
-        for ball in 0..balls {
-            for id in t.place(ball) {
-                let pos = t.bin_ids().iter().position(|b| *b == id).unwrap();
-                counts[pos] += 1;
-            }
-        }
-        for &c in &counts {
-            let share = c as f64 / balls as f64;
+        for share in crate::test_util::empirical_shares(&t, 60_000) {
             assert!((share - 2.0 / 6.0).abs() < 0.01, "share {share}");
         }
     }

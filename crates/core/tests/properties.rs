@@ -8,8 +8,8 @@
 use proptest::prelude::*;
 use rshare_core::capacity::{is_capacity_efficient, max_balls, optimal_weights};
 use rshare_core::{
-    Bin, BinSet, FastRedundantShare, PlacementStrategy, RedundantShare, SystematicPps,
-    TrivialReplication,
+    Bin, BinSet, FastRedundantShare, PlacementEngine, PlacementStrategy, RedundantShare,
+    SystematicPps, TrivialReplication,
 };
 
 /// Strategy for a plausible heterogeneous capacity vector.
@@ -170,5 +170,64 @@ proptest! {
             moved_frac,
             xi
         );
+    }
+
+    #[test]
+    fn batch_and_parallel_match_scalar(
+        caps in capacities(),
+        seed in any::<u64>(),
+        threads in 2usize..=4,
+    ) {
+        // The batch API and the multi-threaded engine are pure
+        // reformulations of the scalar query loop: same placements, bit
+        // for bit, in flat stride-k order.
+        let set = BinSet::from_capacities(caps).unwrap();
+        let k = (seed as usize % set.len().min(4)) + 1;
+        let balls: Vec<u64> = (0..600u64)
+            .map(|i| seed.wrapping_mul(131).wrapping_add(i))
+            .collect();
+        let strategies: Vec<Box<dyn PlacementStrategy>> = vec![
+            Box::new(RedundantShare::new(&set, k).unwrap()),
+            Box::new(FastRedundantShare::new(&set, k).unwrap()),
+        ];
+        for strat in &strategies {
+            let mut expect = Vec::with_capacity(balls.len() * k);
+            for &ball in &balls {
+                expect.extend(strat.place(ball));
+            }
+            let mut batch = Vec::new();
+            strat.place_batch_into(&balls, &mut batch);
+            prop_assert_eq!(&batch, &expect);
+        }
+        // 600 balls over ≥2 threads crosses the engine's parallel
+        // threshold, so this exercises the sharded path.
+        let scan = RedundantShare::new(&set, k).unwrap();
+        let mut expect = Vec::new();
+        scan.place_batch_into(&balls, &mut expect);
+        let engine = PlacementEngine::with_threads(scan, threads);
+        prop_assert_eq!(engine.place_batch(&balls), expect);
+    }
+
+    #[test]
+    fn batch_reuse_never_reallocates(
+        caps in capacities(),
+        seed in any::<u64>(),
+    ) {
+        // Regression: a recycled output buffer with sufficient capacity
+        // must never be reallocated, on either the scalar-batch or the
+        // parallel path.
+        let set = BinSet::from_capacities(caps).unwrap();
+        let k = (seed as usize % set.len().min(4)) + 1;
+        let strat = RedundantShare::new(&set, k).unwrap();
+        let balls: Vec<u64> = (0..700u64).map(|i| seed.wrapping_add(i)).collect();
+        let mut out = Vec::with_capacity(balls.len() * k);
+        let cap = out.capacity();
+        strat.place_batch_into(&balls, &mut out);
+        prop_assert_eq!(out.capacity(), cap, "scalar batch reallocated");
+        let ptr = out.as_ptr();
+        let engine = PlacementEngine::with_threads(strat, 3);
+        engine.place_batch_into(&balls, &mut out);
+        prop_assert_eq!(out.capacity(), cap, "parallel batch reallocated");
+        prop_assert_eq!(out.as_ptr(), ptr, "parallel batch moved the buffer");
     }
 }

@@ -57,6 +57,15 @@ pub trait SingleCopySelector {
         adjusted[0] = head_weight;
         self.select(key, names, &adjusted)
     }
+
+    /// Approximate memory footprint of the selector state in bytes, so
+    /// strategies can report their *compactness* (the paper's criterion)
+    /// including the `placeOneCopy` stage. The default covers stateless
+    /// selectors; implementations owning heap state (rings, tables) must
+    /// override it to count that state.
+    fn memory_bytes(&self) -> usize {
+        std::mem::size_of_val(self)
+    }
 }
 
 impl<T: SingleCopySelector + ?Sized> SingleCopySelector for &T {
@@ -72,5 +81,9 @@ impl<T: SingleCopySelector + ?Sized> SingleCopySelector for &T {
         head_weight: f64,
     ) -> usize {
         (**self).select_with_head(key, names, weights, head_weight)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        (**self).memory_bytes()
     }
 }

@@ -16,7 +16,9 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use rshare_core::{Bin, BinSet, PlacementStrategy, RedundantShare};
+use rshare_core::{
+    Bin, BinId, BinSet, FastRedundantShare, PlacementError, PlacementStrategy, RedundantShare,
+};
 use rshare_erasure::ErasureCode;
 
 use crate::device::{Device, DeviceState};
@@ -26,6 +28,50 @@ use crate::redundancy::Redundancy;
 
 /// Domain separator for the per-block read-copy rotation.
 const READ_BALANCE_DOMAIN: u64 = 0x5245_4144; // "READ"
+
+/// Clusters with at least this many online devices route placement through
+/// the precomputed O(k)-per-query [`FastRedundantShare`]; smaller clusters
+/// keep the table-free O(n) scan, whose query cost is negligible at small
+/// `n` and which avoids the O(k·n²) table build on every membership change.
+const FAST_PLACEMENT_MIN_DEVICES: usize = 64;
+
+/// Below this many blocks per available thread a batched read stays on the
+/// calling thread: spawn/join overhead dwarfs the lookups.
+const MIN_READS_PER_THREAD: usize = 64;
+
+/// The placement engine a cluster routes queries through, chosen by
+/// cluster size (see [`FAST_PLACEMENT_MIN_DEVICES`]).
+///
+/// Both variants implement the paper's Redundant Share and are equally
+/// fair, but their per-ball placements differ (the fast variant draws its
+/// randomness from precomputed alias tables), so switching variants is a
+/// strategy change like any other: the migration machinery diffs old and
+/// new placements and moves what changed.
+enum ClusterStrategy {
+    /// Algorithm 4: O(n) per query, no precomputation.
+    Scan(RedundantShare),
+    /// Section 3.3: O(k) per query from precomputed Markov-chain tables.
+    Fast(FastRedundantShare),
+}
+
+impl ClusterStrategy {
+    /// Builds the right variant for `set`'s size.
+    fn build(set: &BinSet, shards: usize) -> Result<Self, PlacementError> {
+        if set.len() >= FAST_PLACEMENT_MIN_DEVICES {
+            Ok(Self::Fast(FastRedundantShare::new(set, shards)?))
+        } else {
+            Ok(Self::Scan(RedundantShare::new(set, shards)?))
+        }
+    }
+
+    /// Places `ball`, returning its `k` device bins in copy order.
+    fn place(&self, ball: u64) -> Vec<BinId> {
+        match self {
+            Self::Scan(s) => s.place(ball),
+            Self::Fast(s) => s.place(ball),
+        }
+    }
+}
 
 /// Outcome of a data migration triggered by a membership change.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -212,7 +258,7 @@ pub struct StorageCluster {
     devices: BTreeMap<u64, Device>,
     redundancy: Redundancy,
     codec: Option<Box<dyn ErasureCode>>,
-    strategy: Option<RedundantShare>,
+    strategy: Option<ClusterStrategy>,
     block_size: usize,
     /// Logical block addresses that have been written.
     blocks: BTreeSet<u64>,
@@ -223,7 +269,7 @@ pub struct StorageCluster {
 /// State of an in-flight lazy migration.
 struct PendingMigration {
     /// The placement in force for blocks not yet migrated.
-    old_strategy: RedundantShare,
+    old_strategy: ClusterStrategy,
     /// Blocks whose shards still live at their old locations.
     remaining: BTreeSet<u64>,
 }
@@ -280,13 +326,13 @@ impl StorageCluster {
         self.blocks.len() as u64
     }
 
-    fn strategy(&self) -> &RedundantShare {
+    fn strategy(&self) -> &ClusterStrategy {
         self.strategy.as_ref().expect("strategy always present")
     }
 
     /// Builds a placement strategy over the online devices, weighted by
     /// their capacities.
-    fn build_strategy(&self) -> Result<RedundantShare, VdsError> {
+    fn build_strategy(&self) -> Result<ClusterStrategy, VdsError> {
         let bins = self
             .devices
             .values()
@@ -294,7 +340,10 @@ impl StorageCluster {
             .map(|d| Bin::new(d.id(), d.capacity_blocks()))
             .collect::<Result<Vec<_>, _>>()?;
         let set = BinSet::new(bins)?;
-        Ok(RedundantShare::new(&set, self.redundancy.total_shards())?)
+        Ok(ClusterStrategy::build(
+            &set,
+            self.redundancy.total_shards(),
+        )?)
     }
 
     /// The device ids shard 0, 1, … of `lba` are placed on.
@@ -384,7 +433,7 @@ impl StorageCluster {
     /// * [`VdsError::BlockNotFound`] if the block was never written.
     /// * [`VdsError::DataLoss`] if too many shards are gone.
     #[allow(clippy::needless_range_loop)] // shard index is also the copy identity
-    pub fn read_block(&mut self, lba: u64) -> Result<Vec<u8>, VdsError> {
+    pub fn read_block(&self, lba: u64) -> Result<Vec<u8>, VdsError> {
         if !self.blocks.contains(&lba) {
             return Err(VdsError::BlockNotFound { lba });
         }
@@ -401,7 +450,7 @@ impl StorageCluster {
                     let i = (preferred + step) % k;
                     if let Some(data) = self
                         .devices
-                        .get_mut(&placement[i])
+                        .get(&placement[i])
                         .and_then(|d| d.load(&(lba, i)))
                     {
                         return Ok(data);
@@ -416,7 +465,7 @@ impl StorageCluster {
                 let mut shards: Vec<Option<Vec<u8>>> = (0..d)
                     .map(|i| {
                         self.devices
-                            .get_mut(&placement[i])
+                            .get(&placement[i])
                             .and_then(|dev| dev.load(&(lba, i)))
                     })
                     .collect();
@@ -431,7 +480,7 @@ impl StorageCluster {
                 for i in d..k {
                     shards.push(
                         self.devices
-                            .get_mut(&placement[i])
+                            .get(&placement[i])
                             .and_then(|dev| dev.load(&(lba, i))),
                     );
                 }
@@ -439,6 +488,49 @@ impl StorageCluster {
                     .decode_block(shards, self.codec.as_deref(), lba)
             }
         }
+    }
+
+    /// Reads many logical blocks, fanning the lookups out over scoped OS
+    /// threads. Returns the blocks in `lbas` order, or the first error in
+    /// that order.
+    ///
+    /// Reads need only `&self` — shard contents are immutable between
+    /// writes and the per-device I/O counters are atomic — so the fan-out
+    /// shares the cluster without locking. Batches too small to amortise
+    /// thread spawn cost run inline on the calling thread.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`StorageCluster::read_block`], per block.
+    pub fn read_blocks(&self, lbas: &[u64]) -> Result<Vec<Vec<u8>>, VdsError> {
+        let threads = std::thread::available_parallelism()
+            .map_or(1, std::num::NonZeroUsize::get)
+            .min(lbas.len() / MIN_READS_PER_THREAD)
+            .max(1);
+        if threads == 1 {
+            return lbas.iter().map(|&lba| self.read_block(lba)).collect();
+        }
+        let chunk = lbas.len().div_ceil(threads);
+        let mut results: Vec<Result<Vec<u8>, VdsError>> = Vec::with_capacity(lbas.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = lbas[chunk..]
+                .chunks(chunk)
+                .map(|shard| {
+                    scope.spawn(move || {
+                        shard
+                            .iter()
+                            .map(|&lba| self.read_block(lba))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            // The first shard runs on the calling thread.
+            results.extend(lbas[..chunk].iter().map(|&lba| self.read_block(lba)));
+            for handle in handles {
+                results.extend(handle.join().expect("read worker panicked"));
+            }
+        });
+        results.into_iter().collect()
     }
 
     /// Adds a device and migrates the shards whose computed placement
@@ -624,7 +716,7 @@ impl StorageCluster {
             .map(|d| Bin::new(d.id(), d.capacity_blocks()))
             .collect::<Result<Vec<_>, _>>()?;
         let set = BinSet::new(bins)?;
-        let new_strategy = RedundantShare::new(&set, self.redundancy.total_shards())?;
+        let new_strategy = ClusterStrategy::build(&set, self.redundancy.total_shards())?;
         let report = self.replace_strategy(new_strategy)?;
         let drained = self.devices.remove(&id).expect("checked above");
         debug_assert_eq!(
@@ -809,7 +901,7 @@ impl StorageCluster {
 
     /// Diffs the current placement against a hypothetical bin set.
     fn plan_against(&self, bins: &BinSet) -> Result<MigrationPlan, VdsError> {
-        let candidate = RedundantShare::new(bins, self.redundancy.total_shards())?;
+        let candidate = ClusterStrategy::build(bins, self.redundancy.total_shards())?;
         let mut plan = MigrationPlan::default();
         for &lba in &self.blocks {
             let old = self.placement(lba);
@@ -858,7 +950,7 @@ impl StorageCluster {
     /// reconstructed from the group's redundancy.
     fn replace_strategy(
         &mut self,
-        new_strategy: RedundantShare,
+        new_strategy: ClusterStrategy,
     ) -> Result<MigrationReport, VdsError> {
         let old_strategy = self
             .strategy
@@ -993,6 +1085,67 @@ mod tests {
                 expected: 64,
                 got: 7
             })
+        ));
+    }
+
+    #[test]
+    fn read_blocks_matches_sequential_reads() {
+        let mut c = mirror_cluster();
+        for lba in 0..700u64 {
+            c.write_block(lba, &block(lba as u8, 64)).unwrap();
+        }
+        // Reverse order, so result ordering is actually exercised.
+        let lbas: Vec<u64> = (0..700u64).rev().collect();
+        let blocks = c.read_blocks(&lbas).unwrap();
+        assert_eq!(blocks.len(), lbas.len());
+        for (got, &lba) in blocks.iter().zip(&lbas) {
+            assert_eq!(got, &block(lba as u8, 64), "lba {lba}");
+        }
+        // Each mirrored read touched exactly one device, also from threads.
+        let total_reads: u64 = c
+            .device_ids()
+            .iter()
+            .map(|id| c.device(*id).unwrap().stats().reads)
+            .sum();
+        assert_eq!(total_reads, lbas.len() as u64);
+        // Errors propagate.
+        assert!(matches!(
+            c.read_blocks(&[0, 10_000]),
+            Err(VdsError::BlockNotFound { lba: 10_000 })
+        ));
+        // Empty batch is fine.
+        assert_eq!(c.read_blocks(&[]).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn large_cluster_routes_through_fast_placement() {
+        let mut b = StorageCluster::builder()
+            .block_size(64)
+            .redundancy(Redundancy::Mirror { copies: 2 });
+        for id in 0..FAST_PLACEMENT_MIN_DEVICES as u64 {
+            b = b.device(id, 5_000 + id * 13);
+        }
+        let mut c = b.build().unwrap();
+        assert!(
+            matches!(c.strategy(), ClusterStrategy::Fast(_)),
+            "64-device cluster must use the O(k) strategy"
+        );
+        for lba in 0..300u64 {
+            c.write_block(lba, &block(lba as u8, 64)).unwrap();
+            let placement = c.placement(lba);
+            let mut uniq = placement.clone();
+            uniq.sort_unstable();
+            uniq.dedup();
+            assert_eq!(uniq.len(), placement.len(), "distinct devices");
+        }
+        let lbas: Vec<u64> = (0..300u64).collect();
+        for (got, &lba) in c.read_blocks(&lbas).unwrap().iter().zip(&lbas) {
+            assert_eq!(got, &block(lba as u8, 64));
+        }
+        // A small cluster keeps the scan strategy.
+        assert!(matches!(
+            mirror_cluster().strategy(),
+            ClusterStrategy::Scan(_)
         ));
     }
 

@@ -1,6 +1,7 @@
 //! Simulated block storage devices.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::error::VdsError;
 use crate::profile::DeviceProfile;
@@ -33,18 +34,63 @@ pub struct IoStats {
     pub busy_us: u64,
 }
 
+/// Relaxed-ordering atomic I/O counters, so serving a read needs only
+/// `&self` — the counters are independent tallies, not synchronisation.
+#[derive(Debug, Default)]
+struct AtomicIoStats {
+    reads: AtomicU64,
+    writes: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+    busy_us: AtomicU64,
+}
+
+impl AtomicIoStats {
+    fn snapshot(&self) -> IoStats {
+        IoStats {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            busy_us: self.busy_us.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// A simulated storage device holding shards of redundancy groups.
 ///
 /// The device enforces its block capacity, tracks I/O statistics and can be
-/// failed (losing all contents) to drive rebuild experiments.
-#[derive(Debug, Clone)]
+/// failed (losing all contents) to drive rebuild experiments. Reads take
+/// `&self`: shard contents are immutable between writes and the I/O
+/// counters are atomic, so concurrent readers need no exclusive access.
+#[derive(Debug)]
 pub struct Device {
     id: u64,
     capacity_blocks: u64,
     state: DeviceState,
     shards: HashMap<ShardKey, Vec<u8>>,
-    stats: IoStats,
+    stats: AtomicIoStats,
     profile: DeviceProfile,
+}
+
+impl Clone for Device {
+    fn clone(&self) -> Self {
+        let s = self.stats.snapshot();
+        Self {
+            id: self.id,
+            capacity_blocks: self.capacity_blocks,
+            state: self.state,
+            shards: self.shards.clone(),
+            stats: AtomicIoStats {
+                reads: AtomicU64::new(s.reads),
+                writes: AtomicU64::new(s.writes),
+                bytes_read: AtomicU64::new(s.bytes_read),
+                bytes_written: AtomicU64::new(s.bytes_written),
+                busy_us: AtomicU64::new(s.busy_us),
+            },
+            profile: self.profile,
+        }
+    }
 }
 
 impl Device {
@@ -61,7 +107,7 @@ impl Device {
             capacity_blocks,
             state: DeviceState::Online,
             shards: HashMap::new(),
-            stats: IoStats::default(),
+            stats: AtomicIoStats::default(),
             profile,
         }
     }
@@ -102,10 +148,10 @@ impl Device {
         self.state
     }
 
-    /// I/O counters.
+    /// A consistent-enough snapshot of the I/O counters.
     #[must_use]
     pub fn stats(&self) -> IoStats {
-        self.stats
+        self.stats.snapshot()
     }
 
     /// Marks the device failed and drops its contents.
@@ -121,29 +167,37 @@ impl Device {
         if !self.shards.contains_key(&key) && self.used_blocks() >= self.capacity_blocks {
             return Err(VdsError::OutOfSpace { id: self.id });
         }
-        self.stats.writes += 1;
-        self.stats.bytes_written += data.len() as u64;
-        self.stats.busy_us += self.profile.service_us(data.len());
+        self.stats.writes.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .bytes_written
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.stats
+            .busy_us
+            .fetch_add(self.profile.service_us(data.len()), Ordering::Relaxed);
         self.shards.insert(key, data);
         Ok(())
     }
 
-    pub(crate) fn load(&mut self, key: &ShardKey) -> Option<Vec<u8>> {
+    pub(crate) fn load(&self, key: &ShardKey) -> Option<Vec<u8>> {
         if self.state == DeviceState::Failed {
             return None;
         }
         let data = self.shards.get(key).cloned();
         if let Some(d) = &data {
-            self.stats.reads += 1;
-            self.stats.bytes_read += d.len() as u64;
-            self.stats.busy_us += self.profile.service_us(d.len());
+            self.stats.reads.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .bytes_read
+                .fetch_add(d.len() as u64, Ordering::Relaxed);
+            self.stats
+                .busy_us
+                .fetch_add(self.profile.service_us(d.len()), Ordering::Relaxed);
         }
         data
     }
 
     /// Clears the I/O counters (e.g. between workload phases).
     pub(crate) fn reset_stats(&mut self) {
-        self.stats = IoStats::default();
+        self.stats = AtomicIoStats::default();
     }
 
     pub(crate) fn remove(&mut self, key: &ShardKey) -> Option<Vec<u8>> {

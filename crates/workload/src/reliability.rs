@@ -71,7 +71,7 @@ impl ReliabilityReport {
 ///
 /// Device failure times are exponential with the configured MTBF; a failed
 /// device is fully restored `rebuild_hours` later (from redundancy, as
-/// [`rshare-vds`]'s rebuild would). Data is lost when a group has more
+/// `rshare-vds`'s rebuild would). Data is lost when a group has more
 /// than `tolerated` shards on simultaneously-failed devices.
 ///
 /// # Panics

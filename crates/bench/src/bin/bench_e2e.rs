@@ -1,0 +1,270 @@
+//! End-to-end I/O path report: placement cache and erasure kernels.
+//!
+//! Three measurements on the fast path a block read/write traverses:
+//!
+//! 1. **Placement lookups** — `placement_into` throughput on a repeated
+//!    working set, cached (epoch-versioned placement cache) vs uncached
+//!    (every lookup re-runs the Redundant Share scan).
+//! 2. **Block reads** — `read_blocks` throughput over the same working
+//!    set, cached vs uncached cluster.
+//! 3. **Reed–Solomon encode** — MB/s of the table-driven GF(256) kernels
+//!    vs the byte-wise log/exp reference kernel on 64 KiB shards.
+//!
+//! Prints tables and writes the raw numbers to `BENCH_e2e.json` (CI
+//! smoke-checks that the file parses). Pass `--quick` to shrink the
+//! workload for CI; the report shape is identical.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use rshare_bench::{f, print_table, section};
+use rshare_erasure::{gf256, ErasureCode, MatrixCode, ReedSolomon};
+use rshare_vds::{Redundancy, StorageCluster};
+
+/// Timing repetitions per cell; the best (minimum) time is reported.
+const REPS: usize = 5;
+
+/// Devices in the benchmark cluster — below the fast-placement threshold,
+/// so an uncached lookup pays the full O(n) Algorithm-4 scan, as a small
+/// real deployment would.
+const DEVICES: u64 = 48;
+
+struct Cell {
+    bench: &'static str,
+    mode: &'static str,
+    items: u64,
+    unit: &'static str,
+    elapsed_ns: u128,
+}
+
+impl Cell {
+    fn per_s(&self) -> f64 {
+        self.items as f64 / (self.elapsed_ns as f64 / 1e9)
+    }
+}
+
+/// Best-of-[`REPS`] wall-clock time of `run`.
+fn time_best<F: FnMut()>(mut run: F) -> u128 {
+    let mut best = u128::MAX;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        run();
+        best = best.min(start.elapsed().as_nanos());
+    }
+    best
+}
+
+fn cluster(block_size: usize, cache: bool) -> StorageCluster {
+    let mut b = StorageCluster::builder()
+        .block_size(block_size)
+        .redundancy(Redundancy::Mirror { copies: 3 })
+        .placement_cache(cache);
+    for id in 0..DEVICES {
+        b = b.device(id, 1_000_000 + id * 10_000);
+    }
+    b.build().expect("valid cluster")
+}
+
+/// Placement-lookup throughput over `working_set` blocks, `rounds` passes.
+fn bench_placement(quick: bool, cells: &mut Vec<Cell>) {
+    let working_set: u64 = if quick { 1_024 } else { 8_192 };
+    let rounds: u64 = if quick { 8 } else { 24 };
+    let lookups = working_set * rounds;
+    let mut out = Vec::new();
+    for (mode, cached) in [("uncached", false), ("cached", true)] {
+        let mut c = cluster(64, cached);
+        for lba in 0..working_set {
+            c.write_block(lba, &[0u8; 64]).expect("write");
+        }
+        // Warm: the first pass fills the cache (or does nothing, uncached).
+        for lba in 0..working_set {
+            c.placement_into(lba, &mut out);
+        }
+        let elapsed = time_best(|| {
+            for _ in 0..rounds {
+                for lba in 0..working_set {
+                    c.placement_into(black_box(lba), &mut out);
+                    black_box(&out);
+                }
+            }
+        });
+        cells.push(Cell {
+            bench: "placement_lookup",
+            mode,
+            items: lookups,
+            unit: "lookups",
+            elapsed_ns: elapsed,
+        });
+    }
+}
+
+/// End-to-end `read_blocks` throughput over a repeated working set.
+fn bench_reads(quick: bool, cells: &mut Vec<Cell>) {
+    let working_set: u64 = if quick { 512 } else { 4_096 };
+    let rounds: u64 = if quick { 4 } else { 8 };
+    let block_size = 4_096;
+    let lbas: Vec<u64> = (0..working_set).collect();
+    for (mode, cached) in [("uncached", false), ("cached", true)] {
+        let mut c = cluster(block_size, cached);
+        let data = vec![0xABu8; block_size];
+        for &lba in &lbas {
+            c.write_block(lba, &data).expect("write");
+        }
+        let elapsed = time_best(|| {
+            for _ in 0..rounds {
+                black_box(c.read_blocks(black_box(&lbas)).expect("read"));
+            }
+        });
+        cells.push(Cell {
+            bench: "block_read",
+            mode,
+            items: working_set * rounds,
+            unit: "blocks",
+            elapsed_ns: elapsed,
+        });
+    }
+}
+
+/// RS(8, 4) parity generation over 64 KiB shards: table-driven kernels vs
+/// the byte-wise log/exp reference.
+fn bench_rs_encode(quick: bool, cells: &mut Vec<Cell>) {
+    const DATA: usize = 8;
+    const PARITY: usize = 4;
+    const SHARD: usize = 64 * 1024;
+    let encodes: usize = if quick { 8 } else { 48 };
+    let code = ReedSolomon::new(DATA, PARITY).expect("valid code");
+    let matrix = MatrixCode::reed_solomon(DATA, PARITY).expect("valid code");
+    let data: Vec<Vec<u8>> = (0..DATA)
+        .map(|i| (0..SHARD).map(|j| (i * 83 + j * 7) as u8).collect())
+        .collect();
+    let mut shards: Vec<Vec<u8>> = data.clone();
+    shards.extend(std::iter::repeat_with(|| vec![0u8; SHARD]).take(PARITY));
+    let data_bytes = (DATA * SHARD * encodes) as u64;
+
+    // Sanity: both kernels produce identical codewords before timing.
+    code.encode(&mut shards).expect("encode");
+    for (row_idx, got) in shards.iter().enumerate().skip(DATA) {
+        let row = matrix.generator().row(row_idx);
+        let mut want = vec![0u8; SHARD];
+        for (j, shard) in data.iter().enumerate() {
+            gf256::mul_acc_bytewise(&mut want, shard, row[j]);
+        }
+        assert_eq!(*got, want, "kernel mismatch on parity {row_idx}");
+    }
+
+    let table = time_best(|| {
+        for _ in 0..encodes {
+            code.encode(black_box(&mut shards)).expect("encode");
+        }
+        black_box(&shards);
+    });
+    cells.push(Cell {
+        bench: "rs_encode",
+        mode: "table",
+        items: data_bytes,
+        unit: "bytes",
+        elapsed_ns: table,
+    });
+
+    let mut parity = vec![vec![0u8; SHARD]; PARITY];
+    let bytewise = time_best(|| {
+        for _ in 0..encodes {
+            for (p, out) in parity.iter_mut().enumerate() {
+                out.fill(0);
+                let row = matrix.generator().row(DATA + p);
+                for (j, shard) in data.iter().enumerate() {
+                    gf256::mul_acc_bytewise(black_box(out), black_box(shard), row[j]);
+                }
+            }
+        }
+        black_box(&parity);
+    });
+    cells.push(Cell {
+        bench: "rs_encode",
+        mode: "bytewise",
+        items: data_bytes,
+        unit: "bytes",
+        elapsed_ns: bytewise,
+    });
+}
+
+fn speedup(cells: &[Cell], bench: &str, fast: &str, slow: &str) -> f64 {
+    let rate = |mode: &str| {
+        cells
+            .iter()
+            .find(|c| c.bench == bench && c.mode == mode)
+            .expect("cell present")
+            .per_s()
+    };
+    rate(fast) / rate(slow)
+}
+
+/// Hand-rolled JSON (no serde in the dependency set).
+fn to_json(cells: &[Cell], quick: bool) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!(
+        "  \"config\": {{\"quick\": {quick}, \"reps\": {REPS}, \"devices\": {DEVICES}}},\n"
+    ));
+    s.push_str("  \"results\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"bench\": \"{}\", \"mode\": \"{}\", \"items\": {}, \"unit\": \"{}\", \"elapsed_ns\": {}, \"per_s\": {:.1}}}{}\n",
+            c.bench,
+            c.mode,
+            c.items,
+            c.unit,
+            c.elapsed_ns,
+            c.per_s(),
+            if i + 1 == cells.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"summary\": {{\"cached_lookup_speedup\": {:.2}, \"cached_read_speedup\": {:.2}, \"table_encode_speedup\": {:.2}}}\n",
+        speedup(cells, "placement_lookup", "cached", "uncached"),
+        speedup(cells, "block_read", "cached", "uncached"),
+        speedup(cells, "rs_encode", "table", "bytewise"),
+    ));
+    s.push('}');
+    s.push('\n');
+    s
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    section(&format!(
+        "End-to-end I/O path — placement cache + erasure kernels{}",
+        if quick { " (quick mode)" } else { "" }
+    ));
+
+    let mut cells = Vec::new();
+    bench_placement(quick, &mut cells);
+    bench_reads(quick, &mut cells);
+    bench_rs_encode(quick, &mut cells);
+
+    let mut rows = Vec::new();
+    for c in &cells {
+        let rate = match c.bench {
+            "rs_encode" => format!("{:.1} MB/s", c.per_s() / 1e6),
+            _ => format!("{:.3} M{}/s", c.per_s() / 1e6, &c.unit[..c.unit.len() - 1]),
+        };
+        rows.push(vec![
+            c.bench.to_string(),
+            c.mode.to_string(),
+            c.items.to_string(),
+            rate,
+        ]);
+    }
+    print_table(&["bench", "mode", "items", "rate"], &rows);
+
+    println!(
+        "\nspeedups: cached lookups {}x, cached reads {}x, table encode {}x",
+        f(speedup(&cells, "placement_lookup", "cached", "uncached")),
+        f(speedup(&cells, "block_read", "cached", "uncached")),
+        f(speedup(&cells, "rs_encode", "table", "bytewise")),
+    );
+
+    let json = to_json(&cells, quick);
+    std::fs::write("BENCH_e2e.json", &json).expect("write BENCH_e2e.json");
+    println!("wrote BENCH_e2e.json ({} result rows)", cells.len());
+}

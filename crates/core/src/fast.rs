@@ -231,6 +231,27 @@ impl FastRedundantShare {
             }
         }
     }
+
+    /// The Markov-chain walk, emitting the `k` chosen bins in copy order.
+    ///
+    /// Shared by `place_into` and `place_into_inline` so the two emit
+    /// destinations are bit-identical by construction.
+    fn walk_place(&self, ball: u64, mut emit: impl FnMut(BinId)) {
+        let key0 = stable_hash3(ball, 0, FAST_DOMAIN);
+        let mut prev = self.resolve(&self.first, 0, key0);
+        emit(self.ids[prev]);
+        if self.k == 1 {
+            return;
+        }
+        for (level, tables) in self.scan_levels.iter().enumerate() {
+            let key = stable_hash3(ball, level as u64 + 1, FAST_DOMAIN);
+            prev = self.resolve(&tables[prev], prev + 1, key);
+            emit(self.ids[prev]);
+        }
+        let key = stable_hash3(ball, self.k as u64 - 1, FAST_DOMAIN);
+        let idx = self.resolve(&self.last[prev], prev + 1, key);
+        emit(self.ids[idx]);
+    }
 }
 
 /// Shift-aware bitwise suffix match between the calibrated models of an
@@ -391,20 +412,21 @@ impl PlacementStrategy for FastRedundantShare {
 
     fn place_into(&self, ball: u64, out: &mut Vec<BinId>) {
         out.clear();
-        let key0 = stable_hash3(ball, 0, FAST_DOMAIN);
-        let mut prev = self.resolve(&self.first, 0, key0);
-        out.push(self.ids[prev]);
-        if self.k == 1 {
-            return;
-        }
-        for (level, tables) in self.scan_levels.iter().enumerate() {
-            let key = stable_hash3(ball, level as u64 + 1, FAST_DOMAIN);
-            prev = self.resolve(&tables[prev], prev + 1, key);
-            out.push(self.ids[prev]);
-        }
-        let key = stable_hash3(ball, self.k as u64 - 1, FAST_DOMAIN);
-        let idx = self.resolve(&self.last[prev], prev + 1, key);
-        out.push(self.ids[idx]);
+        self.walk_place(ball, |id| out.push(id));
+    }
+
+    fn place_into_inline(&self, ball: u64, out: &mut [BinId; crate::MAX_INLINE_K]) -> usize {
+        assert!(
+            self.k <= crate::MAX_INLINE_K,
+            "replication {} exceeds inline capacity",
+            self.k
+        );
+        let mut n = 0usize;
+        self.walk_place(ball, |id| {
+            out[n] = id;
+            n += 1;
+        });
+        n
     }
 
     fn fair_shares(&self) -> Vec<f64> {
@@ -434,6 +456,22 @@ mod tests {
                 uniq.sort();
                 uniq.dedup();
                 assert_eq!(uniq.len(), k, "ball {ball} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn inline_placement_is_bit_identical() {
+        let set = bins(&[500, 400, 300, 200, 100]);
+        for k in 1..=5usize {
+            let strat = FastRedundantShare::new(&set, k).unwrap();
+            let mut arr = [BinId(u64::MAX); crate::MAX_INLINE_K];
+            let mut v = Vec::new();
+            for ball in 0..2_000u64 {
+                strat.place_into(ball, &mut v);
+                let n = strat.place_into_inline(ball, &mut arr);
+                assert_eq!(n, k);
+                assert_eq!(&arr[..n], v.as_slice(), "ball {ball} k={k}");
             }
         }
     }

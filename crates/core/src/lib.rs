@@ -71,6 +71,6 @@ pub use hierarchy::{DomainBin, DomainPlacement};
 pub use linmirror::LinMirror;
 pub use pps::SystematicPps;
 pub use redundant_share::RedundantShare;
-pub use strategy::PlacementStrategy;
+pub use strategy::{PlacementStrategy, MAX_INLINE_K};
 pub use table_based::{RebalanceReport, TableBased};
 pub use trivial::TrivialReplication;

@@ -173,6 +173,50 @@ impl<S: SingleCopySelector> RedundantShare<S> {
         self.model.head_boost[s]
     }
 
+    /// The Algorithm 4 scan, emitting the `k` chosen bins in copy order.
+    ///
+    /// Shared by the `Vec`-filling [`PlacementStrategy::place_into`] and
+    /// the stack-array [`PlacementStrategy::place_into_inline`]; the emit
+    /// destination is the only difference between the two, so they are
+    /// bit-identical by construction.
+    fn scan_place(&self, ball: u64, mut emit: impl FnMut(BinId)) {
+        let k = self.model.k;
+        if k == 1 {
+            emit(self.ids[self.place_last(ball, 0)]);
+            return;
+        }
+        let mut r = k;
+        let mut i = 0usize;
+        let mut theta_row = self.model.theta_row(r);
+        // Every bin at or beyond the cutoff has effective θ ≥ 1 — the
+        // maximal saturated suffix, which also covers the forced-take
+        // state where only r bins remain. Taking it without hashing keeps
+        // the per-bin cost of saturated regions to a comparison.
+        let mut sat_cut = self.model.saturation_cut(r);
+        loop {
+            let take = if i >= sat_cut {
+                true
+            } else {
+                // Isolated saturated bins can sit left of the cutoff
+                // (saturation is not contiguous in general), so the θ ≥ 1
+                // fast path stays.
+                let theta = theta_row[i];
+                theta >= 1.0 || unit_f64(stable_hash3(ball, self.names[i], SCAN_DOMAIN)) < theta
+            };
+            if take {
+                emit(self.ids[i]);
+                r -= 1;
+                if r == 1 {
+                    emit(self.ids[self.place_last(ball, i + 1)]);
+                    return;
+                }
+                theta_row = self.model.theta_row(r);
+                sat_cut = self.model.saturation_cut(r);
+            }
+            i += 1;
+        }
+    }
+
     /// Places the last copy over the suffix starting at `start`.
     fn place_last(&self, ball: u64, start: usize) -> usize {
         let boost = self.model.head_boost[start];
@@ -202,43 +246,21 @@ impl<S: SingleCopySelector> PlacementStrategy for RedundantShare<S> {
 
     fn place_into(&self, ball: u64, out: &mut Vec<BinId>) {
         out.clear();
+        self.scan_place(ball, |id| out.push(id));
+    }
+
+    fn place_into_inline(&self, ball: u64, out: &mut [BinId; crate::MAX_INLINE_K]) -> usize {
         let k = self.model.k;
-        if k == 1 {
-            let idx = self.place_last(ball, 0);
-            out.push(self.ids[idx]);
-            return;
-        }
-        let mut r = k;
-        let mut i = 0usize;
-        let mut theta_row = self.model.theta_row(r);
-        // Every bin at or beyond the cutoff has effective θ ≥ 1 — the
-        // maximal saturated suffix, which also covers the forced-take
-        // state where only r bins remain. Taking it without hashing keeps
-        // the per-bin cost of saturated regions to a comparison.
-        let mut sat_cut = self.model.saturation_cut(r);
-        loop {
-            let take = if i >= sat_cut {
-                true
-            } else {
-                // Isolated saturated bins can sit left of the cutoff
-                // (saturation is not contiguous in general), so the θ ≥ 1
-                // fast path stays.
-                let theta = theta_row[i];
-                theta >= 1.0 || unit_f64(stable_hash3(ball, self.names[i], SCAN_DOMAIN)) < theta
-            };
-            if take {
-                out.push(self.ids[i]);
-                r -= 1;
-                if r == 1 {
-                    let idx = self.place_last(ball, i + 1);
-                    out.push(self.ids[idx]);
-                    return;
-                }
-                theta_row = self.model.theta_row(r);
-                sat_cut = self.model.saturation_cut(r);
-            }
-            i += 1;
-        }
+        assert!(
+            k <= crate::MAX_INLINE_K,
+            "replication {k} exceeds inline capacity"
+        );
+        let mut n = 0usize;
+        self.scan_place(ball, |id| {
+            out[n] = id;
+            n += 1;
+        });
+        n
     }
 
     fn fair_shares(&self) -> Vec<f64> {
@@ -404,6 +426,22 @@ mod tests {
                         "caps {caps:?} k={k} bin {i}: analytic {e} fair {f}"
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn inline_placement_is_bit_identical() {
+        let set = bins(&[737, 386, 356, 331, 146, 127, 90, 60]);
+        for k in 1..=8usize {
+            let strat = RedundantShare::new(&set, k).unwrap();
+            let mut arr = [BinId(u64::MAX); crate::MAX_INLINE_K];
+            let mut v = Vec::new();
+            for ball in 0..3_000u64 {
+                strat.place_into(ball, &mut v);
+                let n = strat.place_into_inline(ball, &mut arr);
+                assert_eq!(n, k);
+                assert_eq!(&arr[..n], v.as_slice(), "ball {ball} k={k}");
             }
         }
     }

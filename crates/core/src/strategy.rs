@@ -2,6 +2,13 @@
 
 use crate::bins::BinId;
 
+/// Replication degrees up to this bound can be placed through
+/// [`PlacementStrategy::place_into_inline`] into a caller-provided stack
+/// array, so a read-path query performs no heap allocation at all. Covers
+/// every redundancy scheme in practical use (mirrors, RAID, RS up to 8
+/// total shards); wider groups fall back to the `Vec`-based path.
+pub const MAX_INLINE_K: usize = 8;
+
 /// A strategy that maps every ball to `k` pairwise-distinct bins.
 ///
 /// Implementations must be **deterministic** (the same ball always maps to
@@ -32,6 +39,28 @@ pub trait PlacementStrategy {
         let mut out = Vec::with_capacity(self.replication());
         self.place_into(ball, &mut out);
         out
+    }
+
+    /// Places `ball` into a caller-provided stack array, returning the
+    /// number of copies written (always `k`). Only callable when
+    /// `k ≤ MAX_INLINE_K`; the result occupies `out[..k]` in copy order and
+    /// must be bit-identical to [`PlacementStrategy::place_into`].
+    ///
+    /// The default implementation routes through a temporary `Vec`;
+    /// strategies whose scan is already allocation-free override it to
+    /// write straight into the array, making a placement query perform no
+    /// heap allocation at all — the hot path of a cache-missing block read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.replication() > MAX_INLINE_K`.
+    fn place_into_inline(&self, ball: u64, out: &mut [BinId; MAX_INLINE_K]) -> usize {
+        let k = self.replication();
+        assert!(k <= MAX_INLINE_K, "replication {k} exceeds inline capacity");
+        let mut buf = Vec::with_capacity(k);
+        self.place_into(ball, &mut buf);
+        out[..k].copy_from_slice(&buf);
+        k
     }
 
     /// Places every ball of `balls`, writing the groups back to back into
@@ -96,5 +125,14 @@ mod tests {
     fn object_safe() {
         let b: Box<dyn PlacementStrategy> = Box::new(Fixed);
         assert_eq!(b.replication(), 2);
+    }
+
+    #[test]
+    fn default_inline_matches_vec_path() {
+        let s = Fixed;
+        let mut arr = [BinId(u64::MAX); MAX_INLINE_K];
+        let n = s.place_into_inline(9, &mut arr);
+        assert_eq!(n, 2);
+        assert_eq!(&arr[..n], s.place(9).as_slice());
     }
 }

@@ -30,11 +30,7 @@ pub(crate) fn is_prime(n: usize) -> bool {
     true
 }
 
-fn xor_into(dst: &mut [u8], src: &[u8]) {
-    for (d, s) in dst.iter_mut().zip(src) {
-        *d ^= s;
-    }
-}
+use crate::gf256::xor_acc as xor_into;
 
 /// The EVENODD double-erasure code with prime parameter `p`:
 /// `p` data shards, 2 parity shards.

@@ -1,8 +1,13 @@
 //! Arithmetic in GF(2⁸) with the Rijndael-compatible polynomial `0x11d`.
 //!
-//! Addition is XOR; multiplication uses log/exp tables built once at first
-//! use. The field underlies the Reed–Solomon code in
-//! the Reed-Solomon module.
+//! Addition is XOR; scalar multiplication uses log/exp tables built once at
+//! first use. The bulk kernels ([`mul_acc`], [`xor_acc`]) that form the
+//! inner loops of every erasure code in this crate instead use a flat
+//! 256×256 product table — one branch-free, bounds-check-free lookup per
+//! byte — and an 8-bytes-per-iteration XOR fast path for coefficient 1.
+//! The byte-at-a-time log/exp kernel survives as
+//! [`mul_acc_bytewise`], the reference the property tests and the
+//! `bench_e2e` report pin the table kernels against.
 
 /// The irreducible polynomial x⁸ + x⁴ + x³ + x² + 1.
 const POLY: u16 = 0x11d;
@@ -35,6 +40,41 @@ fn tables() -> &'static Tables {
         }
         Tables { exp, log }
     })
+}
+
+/// Flat 256×256 multiplication table: `MUL[c * 256 + d] = c · d`.
+///
+/// 64 KiB total; any single coefficient's row is 256 bytes and stays
+/// resident in L1 for the duration of a shard-sized [`mul_acc`] call.
+fn mul_table() -> &'static [u8; 65536] {
+    use std::sync::OnceLock;
+    static MUL: OnceLock<Box<[u8; 65536]>> = OnceLock::new();
+    MUL.get_or_init(|| {
+        let t = tables();
+        let mut m = vec![0u8; 65536].into_boxed_slice();
+        for c in 1..256usize {
+            let log_c = t.log[c] as usize;
+            let row = &mut m[c * 256..(c + 1) * 256];
+            for (d, slot) in row.iter_mut().enumerate().skip(1) {
+                *slot = t.exp[log_c + t.log[d] as usize];
+            }
+        }
+        m.try_into().expect("exactly 65536 entries")
+    })
+}
+
+/// The 256-byte product row of a fixed coefficient: `mul_row(c)[d] = c · d`.
+///
+/// Indexing the returned array with a `u8` cast to `usize` compiles without
+/// a bounds check, which is what makes the table-driven [`mul_acc`] kernel
+/// branch-free per byte.
+#[inline]
+#[must_use]
+pub fn mul_row(c: u8) -> &'static [u8; 256] {
+    let start = c as usize * 256;
+    mul_table()[start..start + 256]
+        .try_into()
+        .expect("row is 256 bytes")
 }
 
 /// Adds two field elements (XOR).
@@ -103,10 +143,117 @@ pub fn pow(a: u8, e: u32) -> u8 {
     t.exp[((log * e) % 255) as usize]
 }
 
+/// XOR-accumulates `data` into `acc` (`acc[i] ^= data[i]`), 8 bytes per
+/// iteration.
+///
+/// The aligned body reads both slices as native-endian `u64` words, so one
+/// load/xor/store round replaces eight byte rounds; the sub-word tail runs
+/// byte-wise. This is the coefficient-1 fast path of [`mul_acc`] and the
+/// shared kernel behind the XOR-only codes (parity, EVENODD, RDP, LRC
+/// local repair).
+pub fn xor_acc(acc: &mut [u8], data: &[u8]) {
+    debug_assert_eq!(acc.len(), data.len());
+    let mut a = acc.chunks_exact_mut(8);
+    let mut d = data.chunks_exact(8);
+    for (aw, dw) in (&mut a).zip(&mut d) {
+        let x = u64::from_ne_bytes(aw.try_into().expect("8-byte chunk"))
+            ^ u64::from_ne_bytes(dw.try_into().expect("8-byte chunk"));
+        aw.copy_from_slice(&x.to_ne_bytes());
+    }
+    for (aw, dw) in a.into_remainder().iter_mut().zip(d.remainder()) {
+        *aw ^= dw;
+    }
+}
+
 /// Multiplies every byte of `data` by the constant `c`, XOR-accumulating
 /// into `acc` (`acc[i] ^= c · data[i]`). The inner loop of Reed–Solomon
 /// encoding and decoding.
+///
+/// `c == 1` takes the word-at-a-time [`xor_acc`] path; other coefficients
+/// stream through the coefficient's flat [`mul_row`] — one table byte per
+/// data byte, no branch and no bounds check — sixteen bytes per iteration
+/// so consecutive lookups pipeline.
 pub fn mul_acc(acc: &mut [u8], data: &[u8], c: u8) {
+    debug_assert_eq!(acc.len(), data.len());
+    if c == 0 {
+        return;
+    }
+    if c == 1 {
+        xor_acc(acc, data);
+        return;
+    }
+    let row = mul_row(c);
+    // Sixteen table lookups per iteration, packed into two independent u64
+    // lanes that are folded into the accumulator with one load/xor/store
+    // each — instead of sixteen byte-wide read-modify-writes. The two lanes
+    // have no data dependency, so their lookups pipeline; the u8 -> usize
+    // indexes into a [u8; 256] row need no bounds checks, so the loop body
+    // is branch-free.
+    let mut a = acc.chunks_exact_mut(16);
+    let mut d = data.chunks_exact(16);
+    for (aw, dw) in (&mut a).zip(&mut d) {
+        let lo = u64::from_ne_bytes([
+            row[dw[0] as usize],
+            row[dw[1] as usize],
+            row[dw[2] as usize],
+            row[dw[3] as usize],
+            row[dw[4] as usize],
+            row[dw[5] as usize],
+            row[dw[6] as usize],
+            row[dw[7] as usize],
+        ]);
+        let hi = u64::from_ne_bytes([
+            row[dw[8] as usize],
+            row[dw[9] as usize],
+            row[dw[10] as usize],
+            row[dw[11] as usize],
+            row[dw[12] as usize],
+            row[dw[13] as usize],
+            row[dw[14] as usize],
+            row[dw[15] as usize],
+        ]);
+        let x = u64::from_ne_bytes(aw[..8].try_into().expect("8-byte chunk")) ^ lo;
+        aw[..8].copy_from_slice(&x.to_ne_bytes());
+        let y = u64::from_ne_bytes(aw[8..].try_into().expect("8-byte chunk")) ^ hi;
+        aw[8..].copy_from_slice(&y.to_ne_bytes());
+    }
+    for (aw, &dw) in a.into_remainder().iter_mut().zip(d.remainder()) {
+        *aw ^= row[dw as usize];
+    }
+}
+
+/// Tile width for [`mul_acc_many`]: small enough that an output tile stays
+/// L1-resident while every source streams through it, large enough that
+/// per-tile loop overhead is negligible.
+const ACC_TILE: usize = 8 * 1024;
+
+/// Accumulates `Σ_j coeffs[j] · sources[j]` into `out`, tile by tile: all
+/// sources are applied to one [`ACC_TILE`]-sized output tile before moving
+/// to the next, so the read-modify-write target stays in L1 instead of
+/// being streamed through once per source — the access pattern an erasure
+/// encode wants for shards larger than the cache.
+///
+/// Equivalent to calling [`mul_acc`] once per source over the full length.
+pub fn mul_acc_many<S: AsRef<[u8]>>(out: &mut [u8], sources: &[S], coeffs: &[u8]) {
+    debug_assert_eq!(sources.len(), coeffs.len());
+    let len = out.len();
+    let mut start = 0;
+    while start < len {
+        let end = (start + ACC_TILE).min(len);
+        for (src, &c) in sources.iter().zip(coeffs) {
+            let s = src.as_ref();
+            debug_assert_eq!(s.len(), len);
+            mul_acc(&mut out[start..end], &s[start..end], c);
+        }
+        start = end;
+    }
+}
+
+/// The pre-table byte-at-a-time `mul_acc`: log/exp lookups with a per-byte
+/// zero test. Kept as the reference kernel — the property tests pin
+/// [`mul_acc`] against it bit for bit, and `bench_e2e` reports the
+/// table-kernel speedup over it.
+pub fn mul_acc_bytewise(acc: &mut [u8], data: &[u8], c: u8) {
     debug_assert_eq!(acc.len(), data.len());
     if c == 0 {
         return;
@@ -202,6 +349,71 @@ mod tests {
                 *w ^= mul(c, d);
             }
             assert_eq!(acc, want, "c = {c}");
+        }
+    }
+
+    #[test]
+    fn mul_table_matches_mul_exhaustively() {
+        for c in 0u16..256 {
+            let row = mul_row(c as u8);
+            for d in 0u16..256 {
+                assert_eq!(row[d as usize], mul(c as u8, d as u8), "{c} · {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn mul_acc_matches_bytewise_all_lengths() {
+        // Odd lengths exercise both the unrolled body and the tail.
+        for len in [0usize, 1, 3, 7, 8, 9, 31, 64, 100] {
+            let data: Vec<u8> = (0..len).map(|i| (i * 37 + 11) as u8).collect();
+            for c in [0u8, 1, 2, 3, 0x1d, 0x8e, 0xff] {
+                let mut fast = vec![0x5Au8; len];
+                let mut slow = fast.clone();
+                mul_acc(&mut fast, &data, c);
+                mul_acc_bytewise(&mut slow, &data, c);
+                assert_eq!(fast, slow, "c = {c} len = {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn xor_acc_matches_bytewise() {
+        for len in [0usize, 1, 7, 8, 9, 16, 23, 64] {
+            let data: Vec<u8> = (0..len).map(|i| (i * 101 + 3) as u8).collect();
+            let mut fast = vec![0xA5u8; len];
+            let mut slow = fast.clone();
+            xor_acc(&mut fast, &data);
+            for (a, d) in slow.iter_mut().zip(&data) {
+                *a ^= d;
+            }
+            assert_eq!(fast, slow, "len = {len}");
+        }
+    }
+
+    #[test]
+    fn mul_acc_many_matches_per_source_passes() {
+        // Lengths straddling the tile boundary, including non-multiples.
+        for len in [
+            0usize,
+            1,
+            100,
+            ACC_TILE - 1,
+            ACC_TILE,
+            ACC_TILE + 37,
+            3 * ACC_TILE + 5,
+        ] {
+            let sources: Vec<Vec<u8>> = (0..4u8)
+                .map(|s| (0..len).map(|i| (i * 31 + s as usize * 7) as u8).collect())
+                .collect();
+            let coeffs = [0u8, 1, 0x1d, 0x8e];
+            let mut tiled = vec![0u8; len];
+            mul_acc_many(&mut tiled, &sources, &coeffs);
+            let mut flat = vec![0u8; len];
+            for (s, &c) in sources.iter().zip(&coeffs) {
+                mul_acc(&mut flat, s, c);
+            }
+            assert_eq!(tiled, flat, "len = {len}");
         }
     }
 

@@ -7,6 +7,7 @@
 
 use crate::code::{check_optional_shards, check_shards, ErasureCode};
 use crate::error::ErasureError;
+use crate::gf256;
 
 /// XOR parity over `d` data shards (RAID-4/5 style, `p = 1`).
 ///
@@ -56,10 +57,8 @@ impl ErasureCode for XorParity {
         let parity = &mut parity[0];
         parity.iter_mut().for_each(|b| *b = 0);
         for d in data {
-            for (p, &b) in parity.iter_mut().zip(d.iter()) {
-                *p ^= b;
-            }
             debug_assert_eq!(d.len(), len);
+            gf256::xor_acc(parity, d);
         }
         Ok(())
     }
@@ -71,9 +70,7 @@ impl ErasureCode for XorParity {
         };
         let mut out = vec![0u8; len];
         for s in shards.iter().flatten() {
-            for (o, &b) in out.iter_mut().zip(s.iter()) {
-                *o ^= b;
-            }
+            gf256::xor_acc(&mut out, s);
         }
         shards[target] = Some(out);
         Ok(())

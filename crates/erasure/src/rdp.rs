@@ -14,12 +14,7 @@
 use crate::code::{check_optional_shards, check_shards, ErasureCode};
 use crate::error::ErasureError;
 use crate::evenodd::is_prime;
-
-fn xor_into(dst: &mut [u8], src: &[u8]) {
-    for (d, s) in dst.iter_mut().zip(src) {
-        *d ^= s;
-    }
-}
+use crate::gf256::xor_acc as xor_into;
 
 /// The RDP double-erasure code with prime parameter `p`:
 /// `p − 1` data shards, 2 parity shards.

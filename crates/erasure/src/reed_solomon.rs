@@ -85,13 +85,11 @@ impl ErasureCode for ReedSolomon {
     fn encode(&self, shards: &mut [Vec<u8>]) -> Result<(), ErasureError> {
         let len = check_shards(shards, self.total_shards(), 1)?;
         let (data, parity) = shards.split_at_mut(self.data);
+        debug_assert!(data.iter().all(|d| d.len() == len));
         for (p, out) in parity.iter_mut().enumerate() {
             out.iter_mut().for_each(|b| *b = 0);
             let row = self.encode_matrix.row(self.data + p);
-            for (j, d) in data.iter().enumerate() {
-                debug_assert_eq!(d.len(), len);
-                gf256::mul_acc(out, d, row[j]);
-            }
+            gf256::mul_acc_many(out, data, row);
         }
         Ok(())
     }

@@ -15,12 +15,15 @@
 //! measures it.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use rshare_core::{
     Bin, BinId, BinSet, FastRedundantShare, PlacementError, PlacementStrategy, RedundantShare,
+    MAX_INLINE_K,
 };
 use rshare_erasure::ErasureCode;
 
+use crate::cache::{CacheStats, InlinePlacement, PlacementCache, MAX_CACHED_SHARDS};
 use crate::device::{Device, DeviceState};
 use crate::error::VdsError;
 use crate::profile::DeviceProfile;
@@ -69,6 +72,50 @@ impl ClusterStrategy {
         match self {
             Self::Scan(s) => s.place(ball),
             Self::Fast(s) => s.place(ball),
+        }
+    }
+
+    /// The replication degree (total shards per group).
+    fn replication(&self) -> usize {
+        match self {
+            Self::Scan(s) => s.replication(),
+            Self::Fast(s) => s.replication(),
+        }
+    }
+
+    /// Places `ball`, writing raw device ids into `out` (cleared first).
+    /// Groups of up to [`MAX_INLINE_K`] shards go through the inline
+    /// strategy path and never touch the heap.
+    fn place_ids_into(&self, ball: u64, out: &mut Vec<u64>) {
+        out.clear();
+        if self.replication() <= MAX_INLINE_K {
+            let mut arr = [BinId(0); MAX_INLINE_K];
+            let n = match self {
+                Self::Scan(s) => s.place_into_inline(ball, &mut arr),
+                Self::Fast(s) => s.place_into_inline(ball, &mut arr),
+            };
+            out.extend(arr[..n].iter().map(|b| b.raw()));
+        } else {
+            out.extend(self.place(ball).into_iter().map(|b| b.raw()));
+        }
+    }
+}
+
+/// An owned placement: inline (no heap) for groups that fit
+/// [`MAX_CACHED_SHARDS`] ids, heap-backed beyond that. Dereferences to the
+/// raw device-id slice, so call sites index and iterate it like a `Vec`.
+enum PlacementIds {
+    Inline(InlinePlacement),
+    Heap(Vec<u64>),
+}
+
+impl std::ops::Deref for PlacementIds {
+    type Target = [u64];
+
+    fn deref(&self) -> &[u64] {
+        match self {
+            Self::Inline(p) => p.as_slice(),
+            Self::Heap(v) => v,
         }
     }
 }
@@ -171,6 +218,7 @@ pub struct ClusterBuilder {
     block_size: usize,
     redundancy: Redundancy,
     devices: Vec<(u64, u64, DeviceProfile)>,
+    placement_cache: bool,
 }
 
 impl ClusterBuilder {
@@ -185,6 +233,15 @@ impl ClusterBuilder {
     #[must_use]
     pub fn redundancy(mut self, redundancy: Redundancy) -> Self {
         self.redundancy = redundancy;
+        self
+    }
+
+    /// Enables or disables the placement cache (default enabled). With the
+    /// cache off every lookup recomputes the placement — the configuration
+    /// benchmarks use as the uncached baseline.
+    #[must_use]
+    pub fn placement_cache(mut self, enabled: bool) -> Self {
+        self.placement_cache = enabled;
         self
     }
 
@@ -247,6 +304,10 @@ impl ClusterBuilder {
             block_size: self.block_size,
             blocks: BTreeSet::new(),
             pending: None,
+            cache: PlacementCache::new(),
+            cache_enabled: self.placement_cache,
+            placement_epoch: 0,
+            placements_computed: AtomicU64::new(0),
         };
         cluster.strategy = Some(cluster.build_strategy()?);
         Ok(cluster)
@@ -264,6 +325,17 @@ pub struct StorageCluster {
     blocks: BTreeSet<u64>,
     /// In-flight lazy migration, if any.
     pending: Option<PendingMigration>,
+    /// Cache of target-strategy placements, keyed by block address and
+    /// validated against [`StorageCluster::placement_epoch`].
+    cache: PlacementCache,
+    /// Whether lookups consult (and populate) the placement cache.
+    cache_enabled: bool,
+    /// Bumped on every strategy change (add/remove/rebuild/lazy add), which
+    /// invalidates all cached placements in O(1).
+    placement_epoch: u64,
+    /// Number of placements actually computed by a strategy (cache hits
+    /// don't count — the cache-coherence tests pin this).
+    placements_computed: AtomicU64,
 }
 
 /// State of an in-flight lazy migration.
@@ -293,6 +365,7 @@ impl StorageCluster {
             block_size: 4096,
             redundancy: Redundancy::Mirror { copies: 2 },
             devices: Vec::new(),
+            placement_cache: true,
         }
     }
 
@@ -352,20 +425,99 @@ impl StorageCluster {
     /// not yet migrated still resolve to their pre-change locations.
     #[must_use]
     pub fn placement(&self, lba: u64) -> Vec<u64> {
-        let strategy = match &self.pending {
-            Some(p) if p.remaining.contains(&lba) => &p.old_strategy,
-            _ => self.strategy(),
-        };
-        strategy.place(lba).into_iter().map(|id| id.raw()).collect()
+        self.effective_placement(lba).to_vec()
     }
 
-    /// The placement under the *target* (post-migration) configuration.
-    fn target_placement(&self, lba: u64) -> Vec<u64> {
-        self.strategy()
-            .place(lba)
-            .into_iter()
-            .map(|id| id.raw())
-            .collect()
+    /// Like [`StorageCluster::placement`], but writes the device ids into a
+    /// caller-provided buffer (cleared first) — the zero-allocation variant
+    /// for callers issuing many lookups.
+    pub fn placement_into(&self, lba: u64, out: &mut Vec<u64>) {
+        out.clear();
+        out.extend_from_slice(&self.effective_placement(lba));
+    }
+
+    /// The effective placement of `lba`: the old strategy for blocks still
+    /// awaiting lazy migration, the cached target placement otherwise.
+    fn effective_placement(&self, lba: u64) -> PlacementIds {
+        if let Some(p) = &self.pending {
+            if p.remaining.contains(&lba) {
+                // Old-strategy placements are never cached: they die with
+                // the migration and would otherwise need their own epoch.
+                return self.compute_placement(&p.old_strategy, lba);
+            }
+        }
+        self.target_placement(lba)
+    }
+
+    /// The placement under the *target* (post-migration) configuration,
+    /// served from the epoch-versioned cache when enabled.
+    fn target_placement(&self, lba: u64) -> PlacementIds {
+        if self.cache_enabled && self.redundancy.total_shards() <= MAX_CACHED_SHARDS {
+            if let Some(hit) = self.cache.get(lba, self.placement_epoch) {
+                return PlacementIds::Inline(hit);
+            }
+            let computed = self.compute_placement(self.strategy(), lba);
+            if let PlacementIds::Inline(p) = &computed {
+                self.cache.put(lba, self.placement_epoch, *p);
+            }
+            computed
+        } else {
+            self.compute_placement(self.strategy(), lba)
+        }
+    }
+
+    /// Runs a strategy placement (the slow path a cache hit skips),
+    /// returning the group inline whenever it fits.
+    fn compute_placement(&self, strategy: &ClusterStrategy, lba: u64) -> PlacementIds {
+        self.placements_computed.fetch_add(1, Ordering::Relaxed);
+        let k = strategy.replication();
+        if k <= MAX_INLINE_K {
+            let mut arr = [BinId(0); MAX_INLINE_K];
+            let n = match strategy {
+                ClusterStrategy::Scan(s) => s.place_into_inline(lba, &mut arr),
+                ClusterStrategy::Fast(s) => s.place_into_inline(lba, &mut arr),
+            };
+            let mut p = InlinePlacement::empty();
+            for id in &arr[..n] {
+                p.push(id.raw());
+            }
+            PlacementIds::Inline(p)
+        } else {
+            let ids: Vec<u64> = strategy.place(lba).into_iter().map(|b| b.raw()).collect();
+            if ids.len() <= MAX_CACHED_SHARDS {
+                PlacementIds::Inline(InlinePlacement::from_slice(&ids))
+            } else {
+                PlacementIds::Heap(ids)
+            }
+        }
+    }
+
+    /// Hit/miss/occupancy counters of the placement cache.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// The current placement epoch (bumped by every strategy change).
+    #[must_use]
+    pub fn placement_epoch(&self) -> u64 {
+        self.placement_epoch
+    }
+
+    /// Total placements computed by a strategy since construction; lookups
+    /// served from the cache do not increment this.
+    #[must_use]
+    pub fn placements_computed(&self) -> u64 {
+        self.placements_computed.load(Ordering::Relaxed)
+    }
+
+    /// Enables or disables the placement cache at runtime. Disabling also
+    /// drops all cached entries.
+    pub fn set_placement_cache(&mut self, enabled: bool) {
+        self.cache_enabled = enabled;
+        if !enabled {
+            self.cache.clear();
+        }
     }
 
     /// Writes one logical block.
@@ -402,11 +554,11 @@ impl StorageCluster {
             None => None,
         };
         let placement = self.target_placement(lba);
-        for (i, (shard, dev_id)) in shards.into_iter().zip(&placement).enumerate() {
+        for (i, (shard, &dev_id)) in shards.into_iter().zip(placement.iter()).enumerate() {
             let device = self
                 .devices
-                .get_mut(dev_id)
-                .ok_or(VdsError::UnknownDevice { id: *dev_id })?;
+                .get_mut(&dev_id)
+                .ok_or(VdsError::UnknownDevice { id: dev_id })?;
             device.store((lba, i), shard)?;
         }
         if let Some(old) = old_placement {
@@ -437,7 +589,9 @@ impl StorageCluster {
         if !self.blocks.contains(&lba) {
             return Err(VdsError::BlockNotFound { lba });
         }
-        let placement = self.placement(lba);
+        // Cached (and, on miss, inline-computed) placement: the lookup
+        // itself allocates nothing for groups that fit the inline array.
+        let placement = self.effective_placement(lba);
         let k = placement.len();
         match self.redundancy {
             Redundancy::Mirror { .. } => {
@@ -601,6 +755,10 @@ impl StorageCluster {
             .strategy
             .replace(new_strategy)
             .expect("strategy always present");
+        // The target mapping changed, so cached placements are stale even
+        // though no data has moved yet; pending blocks additionally bypass
+        // the cache until migrated (see `effective_placement`).
+        self.placement_epoch += 1;
         let remaining: BTreeSet<u64> = self.blocks.iter().copied().collect();
         let count = remaining.len() as u64;
         self.pending = Some(PendingMigration {
@@ -622,6 +780,10 @@ impl StorageCluster {
     /// which absorbs the remaining migration.
     pub fn migrate_step(&mut self, max_blocks: u64) -> Result<MigrationReport, VdsError> {
         let mut report = MigrationReport::default();
+        // Scratch buffers reused across blocks, so a migration step
+        // allocates nothing per block beyond the shard payloads.
+        let mut old_placement: Vec<u64> = Vec::new();
+        let mut shards: Vec<Option<Vec<u8>>> = Vec::new();
         for _ in 0..max_blocks {
             let Some(pending) = &mut self.pending else {
                 break;
@@ -631,30 +793,26 @@ impl StorageCluster {
                 break;
             };
             pending.remaining.remove(&lba);
-            let old_placement: Vec<u64> = pending
-                .old_strategy
-                .place(lba)
-                .into_iter()
-                .map(|id| id.raw())
-                .collect();
+            pending.old_strategy.place_ids_into(lba, &mut old_placement);
             let new_placement = self.target_placement(lba);
             report.blocks += 1;
             report.shards_total += new_placement.len() as u64;
-            if old_placement == new_placement {
+            if old_placement.as_slice() == &*new_placement {
                 continue;
             }
-            let mut shards: Vec<Option<Vec<u8>>> = old_placement
-                .iter()
-                .enumerate()
-                .map(|(i, dev_id)| self.devices.get_mut(dev_id).and_then(|d| d.load(&(lba, i))))
-                .collect();
+            shards.clear();
+            shards.extend(
+                old_placement.iter().enumerate().map(|(i, dev_id)| {
+                    self.devices.get_mut(dev_id).and_then(|d| d.load(&(lba, i)))
+                }),
+            );
             let missing = shards.iter().filter(|s| s.is_none()).count();
             if missing > 0 {
                 report.shards_reconstructed += missing as u64;
                 self.reconstruct_group(&mut shards, lba)?;
             }
-            for (i, shard) in shards.into_iter().enumerate() {
-                let shard = shard.expect("complete after reconstruction");
+            for (i, slot) in shards.iter_mut().enumerate() {
+                let shard = slot.take().expect("complete after reconstruction");
                 let (old_dev, new_dev) = (old_placement[i], new_placement[i]);
                 if old_dev != new_dev {
                     report.shards_moved += 1;
@@ -774,7 +932,7 @@ impl StorageCluster {
         let lbas: Vec<u64> = self.blocks.iter().copied().collect();
         let mut degraded = 0;
         for lba in lbas {
-            let placement = self.placement(lba);
+            let placement = self.effective_placement(lba);
             let missing = placement
                 .iter()
                 .enumerate()
@@ -805,24 +963,32 @@ impl StorageCluster {
     pub fn repair(&mut self) -> Result<u64, VdsError> {
         let lbas: Vec<u64> = self.blocks.iter().copied().collect();
         let mut repaired = 0u64;
+        // Scratch buffers reused across blocks.
+        let mut placement: Vec<u64> = Vec::new();
+        let mut shards: Vec<Option<Vec<u8>>> = Vec::new();
+        let mut missing: Vec<usize> = Vec::new();
         for lba in lbas {
-            let placement = self.placement(lba);
-            let mut shards: Vec<Option<Vec<u8>>> = placement
-                .iter()
-                .enumerate()
-                .map(|(i, dev_id)| self.devices.get_mut(dev_id).and_then(|d| d.load(&(lba, i))))
-                .collect();
-            let missing: Vec<usize> = shards
-                .iter()
-                .enumerate()
-                .filter_map(|(i, s)| s.is_none().then_some(i))
-                .collect();
+            self.placement_into(lba, &mut placement);
+            shards.clear();
+            shards.extend(
+                placement.iter().enumerate().map(|(i, dev_id)| {
+                    self.devices.get_mut(dev_id).and_then(|d| d.load(&(lba, i)))
+                }),
+            );
+            missing.clear();
+            missing.extend(
+                shards
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, s)| s.is_none().then_some(i)),
+            );
             if missing.is_empty() {
                 continue;
             }
             self.reconstruct_group(&mut shards, lba)?;
-            for i in missing {
-                let shard = shards[i].clone().expect("reconstructed");
+            for &i in &missing {
+                // Move (not clone) the reconstructed shard to its device.
+                let shard = shards[i].take().expect("reconstructed");
                 let target = self
                     .devices
                     .get_mut(&placement[i])
@@ -904,7 +1070,7 @@ impl StorageCluster {
         let candidate = ClusterStrategy::build(bins, self.redundancy.total_shards())?;
         let mut plan = MigrationPlan::default();
         for &lba in &self.blocks {
-            let old = self.placement(lba);
+            let old = self.effective_placement(lba);
             let new = candidate.place(lba);
             plan.shards_total += old.len() as u64;
             for (copy, (o, n)) in old.iter().zip(&new).enumerate() {
@@ -929,7 +1095,7 @@ impl StorageCluster {
         if copy >= self.redundancy.total_shards() {
             return false;
         }
-        let placement = self.placement(lba);
+        let placement = self.effective_placement(lba);
         self.devices
             .get_mut(&placement[copy])
             .and_then(|d| d.remove(&(lba, copy)))
@@ -956,24 +1122,31 @@ impl StorageCluster {
             .strategy
             .replace(new_strategy)
             .expect("strategy always present");
+        // One epoch bump invalidates every cached placement of the old
+        // strategy; the migration loop below re-populates the cache with
+        // target placements as a side effect.
+        self.placement_epoch += 1;
         // Any in-flight lazy migration is absorbed: blocks it had not yet
         // moved are gathered from their true (pre-lazy-change) locations.
         let absorbed = self.pending.take();
-        let effective_old = |lba: u64| -> Vec<u64> {
+        let effective_old = |lba: u64, out: &mut Vec<u64>| {
             let strat = match &absorbed {
                 Some(p) if p.remaining.contains(&lba) => &p.old_strategy,
                 _ => &old_strategy,
             };
-            strat.place(lba).into_iter().map(|b| b.raw()).collect()
+            strat.place_ids_into(lba, out);
         };
         let mut report = MigrationReport::default();
         let lbas: Vec<u64> = self.blocks.iter().copied().collect();
+        // Scratch buffers reused across blocks.
+        let mut old_placement: Vec<u64> = Vec::new();
+        let mut shards: Vec<Option<Vec<u8>>> = Vec::new();
         for lba in lbas {
             report.blocks += 1;
-            let old_placement: Vec<u64> = effective_old(lba);
+            effective_old(lba, &mut old_placement);
             let new_placement = self.target_placement(lba);
             report.shards_total += new_placement.len() as u64;
-            if old_placement == new_placement
+            if old_placement.as_slice() == &*new_placement
                 && new_placement
                     .iter()
                     .enumerate()
@@ -982,19 +1155,20 @@ impl StorageCluster {
                 continue;
             }
             // Gather surviving shards from their old locations.
-            let mut shards: Vec<Option<Vec<u8>>> = old_placement
-                .iter()
-                .enumerate()
-                .map(|(i, dev_id)| self.devices.get_mut(dev_id).and_then(|d| d.load(&(lba, i))))
-                .collect();
+            shards.clear();
+            shards.extend(
+                old_placement.iter().enumerate().map(|(i, dev_id)| {
+                    self.devices.get_mut(dev_id).and_then(|d| d.load(&(lba, i)))
+                }),
+            );
             let missing = shards.iter().filter(|s| s.is_none()).count();
             if missing > 0 {
                 report.shards_reconstructed += missing as u64;
                 self.reconstruct_group(&mut shards, lba)?;
             }
             // Move shards to their new homes.
-            for (i, shard) in shards.into_iter().enumerate() {
-                let shard = shard.expect("complete after reconstruction");
+            for (i, slot) in shards.iter_mut().enumerate() {
+                let shard = slot.take().expect("complete after reconstruction");
                 let (old_dev, new_dev) = (old_placement[i], new_placement[i]);
                 let relocated = old_dev != new_dev;
                 if relocated {
@@ -1019,15 +1193,17 @@ impl StorageCluster {
     fn reconstruct_group(&self, shards: &mut [Option<Vec<u8>>], lba: u64) -> Result<(), VdsError> {
         match self.redundancy {
             Redundancy::Mirror { .. } => {
-                let source = shards
+                // One clone per *missing* slot only (each re-stored copy
+                // must own its bytes); the surviving source itself is
+                // borrowed, never cloned.
+                let src = shards
                     .iter()
-                    .flatten()
-                    .next()
-                    .cloned()
+                    .position(Option::is_some)
                     .ok_or(VdsError::DataLoss { lba })?;
-                for slot in shards.iter_mut() {
-                    if slot.is_none() {
-                        *slot = Some(source.clone());
+                for i in 0..shards.len() {
+                    if shards[i].is_none() {
+                        let copy = shards[src].as_ref().expect("source present").clone();
+                        shards[i] = Some(copy);
                     }
                 }
                 Ok(())
@@ -1051,6 +1227,15 @@ mod tests {
 
     fn block(seed: u8, size: usize) -> Vec<u8> {
         (0..size).map(|i| seed.wrapping_add(i as u8)).collect()
+    }
+
+    /// True iff all device ids are pairwise distinct, sorting in `scratch`
+    /// instead of cloning the placement per check.
+    fn all_distinct(ids: &[u64], scratch: &mut Vec<u64>) -> bool {
+        scratch.clear();
+        scratch.extend_from_slice(ids);
+        scratch.sort_unstable();
+        scratch.windows(2).all(|w| w[0] != w[1])
     }
 
     fn mirror_cluster() -> StorageCluster {
@@ -1130,13 +1315,12 @@ mod tests {
             matches!(c.strategy(), ClusterStrategy::Fast(_)),
             "64-device cluster must use the O(k) strategy"
         );
+        let mut placement = Vec::new();
+        let mut scratch = Vec::new();
         for lba in 0..300u64 {
             c.write_block(lba, &block(lba as u8, 64)).unwrap();
-            let placement = c.placement(lba);
-            let mut uniq = placement.clone();
-            uniq.sort_unstable();
-            uniq.dedup();
-            assert_eq!(uniq.len(), placement.len(), "distinct devices");
+            c.placement_into(lba, &mut placement);
+            assert!(all_distinct(&placement, &mut scratch), "distinct devices");
         }
         let lbas: Vec<u64> = (0..300u64).collect();
         for (got, &lba) in c.read_blocks(&lbas).unwrap().iter().zip(&lbas) {
@@ -1152,13 +1336,12 @@ mod tests {
     #[test]
     fn copies_land_on_distinct_devices() {
         let mut c = mirror_cluster();
+        let mut placement = Vec::new();
+        let mut scratch = Vec::new();
         for lba in 0..500u64 {
             c.write_block(lba, &block(1, 64)).unwrap();
-            let placement = c.placement(lba);
-            let mut uniq = placement.clone();
-            uniq.sort_unstable();
-            uniq.dedup();
-            assert_eq!(uniq.len(), placement.len());
+            c.placement_into(lba, &mut placement);
+            assert!(all_distinct(&placement, &mut scratch));
         }
     }
 
@@ -1516,6 +1699,118 @@ mod tests {
         for lba in (0..300u64).step_by(11) {
             assert_eq!(c.read_block(lba).unwrap(), block(lba as u8, 64));
         }
+    }
+
+    #[test]
+    fn cache_hit_performs_no_placement_computation() {
+        let mut c = mirror_cluster();
+        for lba in 0..50u64 {
+            c.write_block(lba, &block(lba as u8, 64)).unwrap();
+        }
+        // The writes populated the cache; warm one block explicitly anyway.
+        let first = c.read_block(7).unwrap();
+        let computed = c.placements_computed();
+        let hits = c.cache_stats().hits;
+        // Repeated reads must be pure cache hits: the strategy runs zero
+        // additional placements.
+        for _ in 0..10 {
+            assert_eq!(c.read_block(7).unwrap(), first);
+        }
+        assert_eq!(
+            c.placements_computed(),
+            computed,
+            "cache hits must not recompute placements"
+        );
+        assert_eq!(c.cache_stats().hits, hits + 10);
+    }
+
+    #[test]
+    fn membership_change_invalidates_cache_via_epoch() {
+        let mut c = mirror_cluster();
+        for lba in 0..300u64 {
+            c.write_block(lba, &block(lba as u8, 64)).unwrap();
+        }
+        let epoch_before = c.placement_epoch();
+        // Warm the cache for every block.
+        for lba in 0..300u64 {
+            c.read_block(lba).unwrap();
+        }
+        c.add_device(9, 10_000).unwrap();
+        assert!(c.placement_epoch() > epoch_before, "epoch must bump");
+        // Placements after the change match a freshly built identical
+        // cluster (i.e. no stale cache entry leaks through).
+        let mut fresh = StorageCluster::builder()
+            .block_size(64)
+            .redundancy(Redundancy::Mirror { copies: 2 })
+            .device(0, 10_000)
+            .device(1, 10_000)
+            .device(2, 10_000)
+            .device(3, 10_000)
+            .device(9, 10_000)
+            .build()
+            .unwrap();
+        fresh.set_placement_cache(false);
+        for lba in 0..300u64 {
+            assert_eq!(c.placement(lba), fresh.placement(lba), "lba {lba}");
+            assert_eq!(c.read_block(lba).unwrap(), block(lba as u8, 64));
+        }
+    }
+
+    #[test]
+    fn lazy_migration_bypasses_cache_for_pending_blocks() {
+        let mut c = mirror_cluster();
+        for lba in 0..200u64 {
+            c.write_block(lba, &block(lba as u8, 64)).unwrap();
+        }
+        // Snapshot effective placements, then switch the mapping lazily.
+        let old: Vec<Vec<u64>> = (0..200u64).map(|lba| c.placement(lba)).collect();
+        c.add_device_lazy(9, 10_000).unwrap();
+        // Pending blocks still resolve to their old locations even though
+        // the cache holds (stale-epoch) entries from before the change.
+        for lba in 0..200u64 {
+            assert_eq!(c.placement(lba), old[lba as usize], "pending lba {lba}");
+        }
+        // Migrate everything; placements now come from the new strategy and
+        // are cacheable — repeated lookups are hits, and still correct.
+        while c.pending_blocks() > 0 {
+            c.migrate_step(50).unwrap();
+        }
+        let first: Vec<Vec<u64>> = (0..200u64).map(|lba| c.placement(lba)).collect();
+        let computed = c.placements_computed();
+        for lba in 0..200u64 {
+            assert_eq!(c.placement(lba), first[lba as usize]);
+        }
+        assert_eq!(c.placements_computed(), computed);
+        assert_eq!(c.scrub().unwrap(), 0);
+    }
+
+    #[test]
+    fn disabled_cache_recomputes_every_lookup() {
+        let mut c = StorageCluster::builder()
+            .block_size(64)
+            .redundancy(Redundancy::Mirror { copies: 2 })
+            .placement_cache(false)
+            .device(0, 10_000)
+            .device(1, 10_000)
+            .device(2, 10_000)
+            .build()
+            .unwrap();
+        c.write_block(3, &block(3, 64)).unwrap();
+        let computed = c.placements_computed();
+        c.read_block(3).unwrap();
+        c.read_block(3).unwrap();
+        assert_eq!(
+            c.placements_computed(),
+            computed + 2,
+            "uncached lookups recompute"
+        );
+        assert_eq!(c.cache_stats().entries, 0);
+        // Re-enabling works.
+        c.set_placement_cache(true);
+        c.read_block(3).unwrap(); // miss, fills cache
+        let computed = c.placements_computed();
+        c.read_block(3).unwrap(); // hit
+        assert_eq!(c.placements_computed(), computed);
     }
 
     #[test]

@@ -49,6 +49,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
 mod cluster;
 mod device;
 mod error;
@@ -57,6 +58,7 @@ mod redundancy;
 mod shared;
 mod vdisk;
 
+pub use cache::{CacheStats, MAX_CACHED_SHARDS};
 pub use cluster::{ClusterBuilder, MigrationPlan, MigrationReport, ShardMove, StorageCluster};
 pub use device::{Device, DeviceState, IoStats};
 pub use error::VdsError;

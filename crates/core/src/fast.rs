@@ -9,9 +9,18 @@
 //! for each disk that could be chosen as primary in the previous step". A
 //! query then walks `k` constant-time lookups.
 //!
-//! We realise each structure as an [`AliasTable`]. Construction costs
-//! `O(k · n²)` time and memory (the paper counts this as `O(k · n · s)`
-//! with `s` the per-hash-function memory); queries cost `O(k)`.
+//! We realise each structure as an inverse-CDF table ([`CdfTable`]).
+//! Construction costs `O(k · n²)` time and memory (the paper counts this
+//! as `O(k · n · s)` with `s` the per-hash-function memory); queries cost
+//! `O(k · log n)`. An alias table would answer each draw in O(1), but its
+//! column/alias layout is discontinuous in the weights: rebuilding it for
+//! a slightly different bin set scrambles which hash values land where,
+//! which would void the adaptivity guarantees the paper's Section 4 is
+//! about. The inverse-CDF draw is monotone in the cumulative
+//! distribution, so a membership or capacity change remaps only balls
+//! whose uniform falls in a shifted boundary region — per transition, the
+//! total-variation distance between the old and new distributions, which
+//! keeps the fast engine's migration competitive like the scan's.
 //!
 //! The sampled joint distribution is identical to the scan's, so fairness
 //! and redundancy carry over exactly; the random bits differ, so the two
@@ -27,12 +36,11 @@
 //! only on the calibrated model data at indices at or after its start, so
 //! a bitwise suffix comparison (with index shift, for head
 //! insertions/removals) identifies reusable tables, which are shared via
-//! `Arc` instead of reconstructed. The adaptivity benches quantify the
-//! remaining gap to the scan variant's adaptivity guarantees.
+//! `Arc` instead of reconstructed.
 
 use std::sync::Arc;
 
-use rshare_hash::{stable_hash3, AliasTable};
+use rshare_hash::{stable_hash3, CdfTable};
 
 use crate::analysis::ScanModel;
 use crate::bins::{BinId, BinSet};
@@ -48,9 +56,9 @@ const FAST_DOMAIN: u64 = 0x4653_4841_5245_0000; // "FSHARE"
 /// unchanged-suffix tables of the previous instance by reference.
 #[derive(Debug, Clone)]
 enum Transition {
-    /// Reachable state: alias table over the bins after the predecessor
-    /// (outcome `t` means absolute index `prev + 1 + t`).
-    Table(Arc<AliasTable>),
+    /// Reachable state: inverse-CDF table over the bins after the
+    /// predecessor (outcome `t` means absolute index `prev + 1 + t`).
+    Table(Arc<CdfTable>),
     /// The calibrated head weight diverged: the head takes everything.
     AlwaysHead,
     /// State unreachable (not enough bins left for the remaining copies).
@@ -381,7 +389,7 @@ fn scan_transition(model: &ScanModel, r: usize, start: usize) -> Transition {
         }
     }
     Transition::Table(Arc::new(
-        AliasTable::new(&probs).expect("valid scan distribution"),
+        CdfTable::new(&probs).expect("valid scan distribution"),
     ))
 }
 
@@ -398,7 +406,7 @@ fn last_transition(model: &ScanModel, start: usize) -> Transition {
     }
     let mut w: Vec<f64> = model.weights[start..].to_vec();
     w[0] = boost;
-    Transition::Table(Arc::new(AliasTable::new(&w).expect("valid suffix weights")))
+    Transition::Table(Arc::new(CdfTable::new(&w).expect("valid suffix weights")))
 }
 
 impl PlacementStrategy for FastRedundantShare {

@@ -228,7 +228,7 @@ pub fn mul_acc(acc: &mut [u8], data: &[u8], c: u8) {
 const ACC_TILE: usize = 8 * 1024;
 
 /// Accumulates `Σ_j coeffs[j] · sources[j]` into `out`, tile by tile: all
-/// sources are applied to one [`ACC_TILE`]-sized output tile before moving
+/// sources are applied to one 8 KiB output tile (`ACC_TILE`) before moving
 /// to the next, so the read-modify-write target stays in L1 instead of
 /// being streamed through once per source — the access pattern an erasure
 /// encode wants for shards larger than the cache.

@@ -281,23 +281,25 @@ impl ErasureCode for MatrixCode {
         )?;
         let sub = self.generator.select_rows(&chosen);
         let decode = sub.inverted().expect("chosen rows are independent");
-        // Recover the data shards.
+        // Recover the data shards: one tiled multi-source accumulation
+        // ([`gf256::mul_acc_many`]) per target over the shared survivor
+        // set, so the survivors stream through the cache once per target
+        // tile instead of once per (target, survivor) pair.
+        let survivors: Vec<&[u8]> = chosen
+            .iter()
+            .map(|&src| shards[src].as_ref().expect("survivor").as_slice())
+            .collect();
         let mut data_shards: Vec<Vec<u8>> = Vec::with_capacity(self.data);
         for target in 0..self.data {
             let mut out = vec![0u8; len];
-            for (j, &src) in chosen.iter().enumerate() {
-                let c = decode[(target, j)];
-                gf256::mul_acc(&mut out, shards[src].as_ref().expect("survivor"), c);
-            }
+            gf256::mul_acc_many(&mut out, &survivors, decode.row(target));
             data_shards.push(out);
         }
+        drop(survivors);
         // Fill in every missing shard from the recovered data.
         for target in missing {
             let mut out = vec![0u8; len];
-            let row = self.generator.row(target);
-            for (j, d) in data_shards.iter().enumerate() {
-                gf256::mul_acc(&mut out, d, row[j]);
-            }
+            gf256::mul_acc_many(&mut out, &data_shards, self.generator.row(target));
             shards[target] = Some(out);
         }
         // Also restore the recovered data shards themselves (they may have

@@ -110,26 +110,48 @@ impl ErasureCode for ReedSolomon {
         let decode = sub
             .inverted()
             .expect("any d Vandermonde-derived rows are invertible");
-        // Rebuild missing data shards.
+        // Rebuild missing data shards: the stripe is decoded once — each
+        // target is one tiled multi-source pass ([`gf256::mul_acc_many`])
+        // over the same survivor set, not a per-(target, survivor) loop.
         let missing_data: Vec<usize> = missing.iter().copied().filter(|&i| i < self.data).collect();
-        for &target in &missing_data {
-            let mut out = vec![0u8; len];
-            for (j, &src) in survivors.iter().enumerate() {
-                let c = decode[(target, j)];
-                let shard = shards[src].as_ref().expect("survivor present");
-                gf256::mul_acc(&mut out, shard, c);
-            }
+        let survivor_refs: Vec<&[u8]> = survivors
+            .iter()
+            .map(|&src| shards[src].as_ref().expect("survivor present").as_slice())
+            .collect();
+        let rebuilt: Vec<(usize, Vec<u8>)> = missing_data
+            .iter()
+            .map(|&target| {
+                let mut out = vec![0u8; len];
+                gf256::mul_acc_many(&mut out, &survivor_refs, decode.row(target));
+                (target, out)
+            })
+            .collect();
+        drop(survivor_refs);
+        for (target, out) in rebuilt {
             shards[target] = Some(out);
         }
         // Rebuild missing parity shards from the (now complete) data.
-        for &target in missing.iter().filter(|&&i| i >= self.data) {
-            let mut out = vec![0u8; len];
-            let row = self.encode_matrix.row(target);
-            for j in 0..self.data {
-                let shard = shards[j].as_ref().expect("data rebuilt above");
-                gf256::mul_acc(&mut out, shard, row[j]);
+        let missing_parity: Vec<usize> = missing
+            .iter()
+            .copied()
+            .filter(|&i| i >= self.data)
+            .collect();
+        if !missing_parity.is_empty() {
+            let data_refs: Vec<&[u8]> = (0..self.data)
+                .map(|j| shards[j].as_ref().expect("data rebuilt above").as_slice())
+                .collect();
+            let rebuilt: Vec<(usize, Vec<u8>)> = missing_parity
+                .iter()
+                .map(|&target| {
+                    let mut out = vec![0u8; len];
+                    gf256::mul_acc_many(&mut out, &data_refs, self.encode_matrix.row(target));
+                    (target, out)
+                })
+                .collect();
+            drop(data_refs);
+            for (target, out) in rebuilt {
+                shards[target] = Some(out);
             }
-            shards[target] = Some(out);
         }
         Ok(())
     }

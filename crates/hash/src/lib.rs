@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod alias;
+pub mod cdf;
 pub mod consistent;
 pub mod mix;
 pub mod rendezvous;
@@ -50,6 +51,7 @@ pub mod weighted_dht;
 mod selector;
 
 pub use alias::AliasTable;
+pub use cdf::CdfTable;
 pub use consistent::{ConsistentRing, StatelessConsistent};
 pub use mix::{splitmix64, stable_hash2, stable_hash3, unit_f64, unit_open_f64};
 pub use rendezvous::Rendezvous;

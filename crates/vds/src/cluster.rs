@@ -26,14 +26,16 @@ use rshare_erasure::ErasureCode;
 use crate::cache::{CacheStats, InlinePlacement, PlacementCache, MAX_CACHED_SHARDS};
 use crate::device::{Device, DeviceState};
 use crate::error::VdsError;
+use crate::migration::{BlockOps, MigrationPlan, MigrationReport, ShardMove};
 use crate::profile::DeviceProfile;
 use crate::redundancy::Redundancy;
 
 /// Domain separator for the per-block read-copy rotation.
 const READ_BALANCE_DOMAIN: u64 = 0x5245_4144; // "READ"
 
-/// Clusters with at least this many online devices route placement through
-/// the precomputed O(k)-per-query [`FastRedundantShare`]; smaller clusters
+/// Default for [`ClusterBuilder::fast_strategy_threshold`]: clusters with
+/// at least this many online devices route placement through the
+/// precomputed O(k)-per-query [`FastRedundantShare`]; smaller clusters
 /// keep the table-free O(n) scan, whose query cost is negligible at small
 /// `n` and which avoids the O(k·n²) table build on every membership change.
 const FAST_PLACEMENT_MIN_DEVICES: usize = 64;
@@ -42,8 +44,17 @@ const FAST_PLACEMENT_MIN_DEVICES: usize = 64;
 /// calling thread: spawn/join overhead dwarfs the lookups.
 const MIN_READS_PER_THREAD: usize = 64;
 
+/// Blocks per batched-migration chunk. Bounds the transient memory of a
+/// rebalance: at most this many blocks' shard payloads are in flight
+/// between the gather and apply phases.
+const MIGRATION_CHUNK_BLOCKS: usize = 4096;
+
+/// Below this many migrating blocks per worker the gather phase stays on
+/// the calling thread: spawn/join overhead dwarfs the block I/O.
+const MIN_MIGRATE_BLOCKS_PER_THREAD: usize = 32;
+
 /// The placement engine a cluster routes queries through, chosen by
-/// cluster size (see [`FAST_PLACEMENT_MIN_DEVICES`]).
+/// cluster size (see [`ClusterBuilder::fast_strategy_threshold`]).
 ///
 /// Both variants implement the paper's Redundant Share and are equally
 /// fair, but their per-ball placements differ (the fast variant draws its
@@ -58,9 +69,10 @@ enum ClusterStrategy {
 }
 
 impl ClusterStrategy {
-    /// Builds the right variant for `set`'s size.
-    fn build(set: &BinSet, shards: usize) -> Result<Self, PlacementError> {
-        if set.len() >= FAST_PLACEMENT_MIN_DEVICES {
+    /// Builds the right variant for `set`'s size: the precomputed engine
+    /// once the set reaches `fast_min` bins, the scan below it.
+    fn build(set: &BinSet, shards: usize, fast_min: usize) -> Result<Self, PlacementError> {
+        if set.len() >= fast_min {
             Ok(Self::Fast(FastRedundantShare::new(set, shards)?))
         } else {
             Ok(Self::Scan(RedundantShare::new(set, shards)?))
@@ -99,6 +111,16 @@ impl ClusterStrategy {
             out.extend(self.place(ball).into_iter().map(|b| b.raw()));
         }
     }
+
+    /// Places every ball in `balls`, appending `replication()` bins per
+    /// ball to `out` (cleared first) as one flat stride-k run — the bulk
+    /// API the migration planner and executor diff placements with.
+    fn place_batch_into(&self, balls: &[u64], out: &mut Vec<BinId>) {
+        match self {
+            Self::Scan(s) => s.place_batch_into(balls, out),
+            Self::Fast(s) => s.place_batch_into(balls, out),
+        }
+    }
 }
 
 /// An owned placement: inline (no heap) for groups that fit
@@ -117,83 +139,6 @@ impl std::ops::Deref for PlacementIds {
             Self::Inline(p) => p.as_slice(),
             Self::Heap(v) => v,
         }
-    }
-}
-
-/// Outcome of a data migration triggered by a membership change.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct MigrationReport {
-    /// Logical blocks examined.
-    pub blocks: u64,
-    /// Total shards examined (`blocks × total_shards`).
-    pub shards_total: u64,
-    /// Shards whose device changed and were copied.
-    pub shards_moved: u64,
-    /// Shards that had to be reconstructed from redundancy because their
-    /// source device was gone.
-    pub shards_reconstructed: u64,
-}
-
-impl MigrationReport {
-    /// The fraction of shards moved — the quantity the paper's
-    /// competitiveness results bound.
-    #[must_use]
-    pub fn moved_fraction(&self) -> f64 {
-        if self.shards_total == 0 {
-            0.0
-        } else {
-            self.shards_moved as f64 / self.shards_total as f64
-        }
-    }
-}
-
-/// One shard relocation in a migration dry-run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ShardMove {
-    /// Logical block address of the redundancy group.
-    pub lba: u64,
-    /// Copy / shard index within the group.
-    pub copy: usize,
-    /// Device currently computed to hold the shard.
-    pub from: u64,
-    /// Device that will hold it after the change.
-    pub to: u64,
-}
-
-/// A dry-run migration plan: what a membership change *would* move.
-///
-/// Produced by [`StorageCluster::plan_add_device`] and
-/// [`StorageCluster::plan_remove_device`] without touching any data, so
-/// operators can inspect the migration volume (and per-device inflow)
-/// before committing to a change.
-#[derive(Debug, Clone, Default)]
-pub struct MigrationPlan {
-    /// Every shard that would change devices.
-    pub moves: Vec<ShardMove>,
-    /// Total shards examined.
-    pub shards_total: u64,
-}
-
-impl MigrationPlan {
-    /// Fraction of all shards that would move.
-    #[must_use]
-    pub fn moved_fraction(&self) -> f64 {
-        if self.shards_total == 0 {
-            0.0
-        } else {
-            self.moves.len() as f64 / self.shards_total as f64
-        }
-    }
-
-    /// Bytes-free view: shards flowing *into* each device, as
-    /// `(device, count)` sorted by device id.
-    #[must_use]
-    pub fn inflow_per_device(&self) -> Vec<(u64, u64)> {
-        let mut map = BTreeMap::new();
-        for mv in &self.moves {
-            *map.entry(mv.to).or_insert(0u64) += 1;
-        }
-        map.into_iter().collect()
     }
 }
 
@@ -219,6 +164,8 @@ pub struct ClusterBuilder {
     redundancy: Redundancy,
     devices: Vec<(u64, u64, DeviceProfile)>,
     placement_cache: bool,
+    fast_strategy_threshold: usize,
+    migration_threads: usize,
 }
 
 impl ClusterBuilder {
@@ -242,6 +189,26 @@ impl ClusterBuilder {
     #[must_use]
     pub fn placement_cache(mut self, enabled: bool) -> Self {
         self.placement_cache = enabled;
+        self
+    }
+
+    /// Sets the minimum online-device count at which placement routes
+    /// through the precomputed O(k)-per-query fast engine instead of the
+    /// table-free O(n) scan (default 64). Lower it to force the fast
+    /// engine on small clusters, or pass `usize::MAX` to pin the scan —
+    /// the knob the migration benchmark sweeps.
+    #[must_use]
+    pub fn fast_strategy_threshold(mut self, min_devices: usize) -> Self {
+        self.fast_strategy_threshold = min_devices;
+        self
+    }
+
+    /// Caps the worker threads batched migration phases may use (default
+    /// 0 = all available cores). `1` forces the batched-but-serial
+    /// executor, the "planned" baseline of the migration benchmark.
+    #[must_use]
+    pub fn migration_threads(mut self, threads: usize) -> Self {
+        self.migration_threads = threads;
         self
     }
 
@@ -308,6 +275,8 @@ impl ClusterBuilder {
             cache_enabled: self.placement_cache,
             placement_epoch: 0,
             placements_computed: AtomicU64::new(0),
+            fast_threshold: self.fast_strategy_threshold,
+            migration_threads: self.migration_threads,
         };
         cluster.strategy = Some(cluster.build_strategy()?);
         Ok(cluster)
@@ -336,6 +305,22 @@ pub struct StorageCluster {
     /// Number of placements actually computed by a strategy (cache hits
     /// don't count — the cache-coherence tests pin this).
     placements_computed: AtomicU64,
+    /// Minimum online-device count for the fast placement engine
+    /// ([`ClusterBuilder::fast_strategy_threshold`]).
+    fast_threshold: usize,
+    /// Worker-thread cap for batched migration (0 = all cores).
+    migration_threads: usize,
+}
+
+/// Counters produced by one gather/apply migration execution.
+#[derive(Default)]
+struct ExecOutcome {
+    /// Shards whose device changed.
+    moved: u64,
+    /// Shards reconstructed from redundancy.
+    reconstructed: u64,
+    /// Shards written to a device (moved + repaired-in-place).
+    stored: u64,
 }
 
 /// State of an in-flight lazy migration.
@@ -366,6 +351,8 @@ impl StorageCluster {
             redundancy: Redundancy::Mirror { copies: 2 },
             devices: Vec::new(),
             placement_cache: true,
+            fast_strategy_threshold: FAST_PLACEMENT_MIN_DEVICES,
+            migration_threads: 0,
         }
     }
 
@@ -416,6 +403,7 @@ impl StorageCluster {
         Ok(ClusterStrategy::build(
             &set,
             self.redundancy.total_shards(),
+            self.fast_threshold,
         )?)
     }
 
@@ -780,6 +768,11 @@ impl StorageCluster {
     /// which absorbs the remaining migration.
     pub fn migrate_step(&mut self, max_blocks: u64) -> Result<MigrationReport, VdsError> {
         let mut report = MigrationReport::default();
+        // With nothing in flight, return before setting up any scratch
+        // state — idle callers polling the migration pay nothing.
+        if self.pending.is_none() {
+            return Ok(report);
+        }
         // Scratch buffers reused across blocks, so a migration step
         // allocates nothing per block beyond the shard payloads.
         let mut old_placement: Vec<u64> = Vec::new();
@@ -845,12 +838,337 @@ impl StorageCluster {
             .map_or(0, |p| p.remaining.len() as u64)
     }
 
+    /// Migrates up to `max_blocks` pending blocks through the batched
+    /// parallel executor: old and new placements are computed in bulk with
+    /// the stride-k batch API, unchanged blocks are skipped without any
+    /// device I/O, and the changed ones are gathered concurrently (scoped
+    /// threads over `&self`) and applied by per-device writers. The
+    /// bounded budget keeps lazy migration incremental; with no migration
+    /// in flight this is a no-op reporting zeros.
+    ///
+    /// Semantically identical to calling [`StorageCluster::migrate_step`]
+    /// with the same budget — only faster.
+    ///
+    /// # Errors
+    ///
+    /// Device I/O errors and [`VdsError::DataLoss`] if a pending block
+    /// became unrecoverable. Blocks of a failed chunk stay pending; if a
+    /// device failed mid-migration run [`StorageCluster::rebuild`], which
+    /// absorbs the remaining migration.
+    pub fn migrate_batch(&mut self, max_blocks: u64) -> Result<MigrationReport, VdsError> {
+        let mut report = MigrationReport::default();
+        let Some(mut pending) = self.pending.take() else {
+            return Ok(report);
+        };
+        let take = max_blocks.min(pending.remaining.len() as u64) as usize;
+        let lbas: Vec<u64> = pending.remaining.iter().copied().take(take).collect();
+        let mut old_ids: Vec<BinId> = Vec::new();
+        let mut old_flat: Vec<u64> = Vec::new();
+        let mut failure = None;
+        for chunk in lbas.chunks(MIGRATION_CHUNK_BLOCKS) {
+            pending.old_strategy.place_batch_into(chunk, &mut old_ids);
+            old_flat.clear();
+            old_flat.extend(old_ids.iter().map(|b| b.raw()));
+            match self.rebalance_chunk(chunk, &old_flat, false) {
+                Ok(r) => {
+                    report.merge(r);
+                    // The chunk is an ascending prefix of the pending set,
+                    // so one O(log n) split drops it instead of a
+                    // per-block remove.
+                    let bound = chunk.last().expect("chunks are non-empty") + 1;
+                    pending.remaining = pending.remaining.split_off(&bound);
+                }
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            }
+        }
+        if !pending.remaining.is_empty() {
+            self.pending = Some(pending);
+        }
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(report),
+        }
+    }
+
+    /// Drains the entire in-flight lazy migration through the batched
+    /// parallel executor ([`StorageCluster::migrate_batch`] without a
+    /// budget). With no migration in flight this is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`StorageCluster::migrate_batch`].
+    pub fn rebalance(&mut self) -> Result<MigrationReport, VdsError> {
+        self.migrate_batch(u64::MAX)
+    }
+
     /// Completes any in-flight lazy migration synchronously.
     fn drain_pending(&mut self) -> Result<(), VdsError> {
         while self.pending.is_some() {
-            self.migrate_step(u64::MAX)?;
+            self.migrate_batch(u64::MAX)?;
         }
         Ok(())
+    }
+
+    /// Batch-computes the *effective* placement of every `lbas[j]` into
+    /// `out` as one flat stride-k run of raw device ids, bypassing the
+    /// per-block cache: blocks still awaiting lazy migration resolve
+    /// through the old strategy, everything else through the target
+    /// strategy in bulk.
+    fn effective_flat(&self, lbas: &[u64], out: &mut Vec<u64>) {
+        let k = self.redundancy.total_shards();
+        out.clear();
+        match &self.pending {
+            Some(p) => {
+                out.resize(lbas.len() * k, 0);
+                let mut current: Vec<u64> = Vec::with_capacity(lbas.len());
+                let mut current_pos: Vec<usize> = Vec::with_capacity(lbas.len());
+                let mut scratch: Vec<u64> = Vec::new();
+                for (j, &lba) in lbas.iter().enumerate() {
+                    if p.remaining.contains(&lba) {
+                        p.old_strategy.place_ids_into(lba, &mut scratch);
+                        out[j * k..(j + 1) * k].copy_from_slice(&scratch);
+                    } else {
+                        current.push(lba);
+                        current_pos.push(j);
+                    }
+                }
+                let mut ids: Vec<BinId> = Vec::with_capacity(current.len() * k);
+                self.strategy().place_batch_into(&current, &mut ids);
+                for (m, &j) in current_pos.iter().enumerate() {
+                    let group = &ids[m * k..(m + 1) * k];
+                    for (slot, id) in out[j * k..(j + 1) * k].iter_mut().zip(group) {
+                        *slot = id.raw();
+                    }
+                }
+            }
+            None => {
+                let mut ids: Vec<BinId> = Vec::with_capacity(lbas.len() * k);
+                self.strategy().place_batch_into(lbas, &mut ids);
+                out.extend(ids.iter().map(|b| b.raw()));
+            }
+        }
+    }
+
+    /// Worker count for a migration phase over `work_items` blocks: the
+    /// configured cap (or every available core), scaled down so each
+    /// worker keeps at least [`MIN_MIGRATE_BLOCKS_PER_THREAD`] blocks.
+    fn worker_threads(&self, work_items: usize) -> usize {
+        let cap = if self.migration_threads > 0 {
+            self.migration_threads
+        } else {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        };
+        cap.min(work_items / MIN_MIGRATE_BLOCKS_PER_THREAD).max(1)
+    }
+
+    /// Migrates one chunk of blocks from their `old_flat` placements (flat
+    /// stride-k device ids, parallel to `lbas`) to the current target
+    /// strategy. Blocks whose placement is unchanged are skipped without
+    /// touching any device — unless `repair_unchanged` is set, in which
+    /// case blocks missing a shard at an unchanged location are re-stored
+    /// (the membership-change path repairs latent losses in passing).
+    fn rebalance_chunk(
+        &mut self,
+        lbas: &[u64],
+        old_flat: &[u64],
+        repair_unchanged: bool,
+    ) -> Result<MigrationReport, VdsError> {
+        let k = self.redundancy.total_shards();
+        let mut report = MigrationReport {
+            blocks: lbas.len() as u64,
+            shards_total: (lbas.len() * k) as u64,
+            ..MigrationReport::default()
+        };
+        let mut new_ids: Vec<BinId> = Vec::with_capacity(lbas.len() * k);
+        self.strategy().place_batch_into(lbas, &mut new_ids);
+        let new_flat: Vec<u64> = new_ids.iter().map(|b| b.raw()).collect();
+        let mut work: Vec<usize> = Vec::new();
+        for (j, &lba) in lbas.iter().enumerate() {
+            let old = &old_flat[j * k..(j + 1) * k];
+            let new = &new_flat[j * k..(j + 1) * k];
+            if old != new
+                || (repair_unchanged
+                    && new
+                        .iter()
+                        .enumerate()
+                        .any(|(i, id)| !self.devices.get(id).is_some_and(|d| d.has(&(lba, i)))))
+            {
+                work.push(j);
+            }
+        }
+        if work.is_empty() {
+            return Ok(report);
+        }
+        let outcome = self.execute_block_ops(lbas, &work, old_flat, &new_flat)?;
+        report.shards_moved = outcome.moved;
+        report.shards_reconstructed = outcome.reconstructed;
+        Ok(report)
+    }
+
+    /// Read-only gather for one migrating block: loads the group's shards
+    /// from their `old` devices, reconstructs any missing ones (once per
+    /// stripe), and expands the block into device-level remove/store ops
+    /// against `new`. Takes `&self` — shard payloads are immutable between
+    /// writes and the device I/O counters are atomic — so gathers fan out
+    /// over scoped threads like batched reads do.
+    fn gather_block(&self, lba: u64, old: &[u64], new: &[u64]) -> Result<BlockOps, VdsError> {
+        let mut shards: Vec<Option<Vec<u8>>> = old
+            .iter()
+            .enumerate()
+            .map(|(i, dev_id)| self.devices.get(dev_id).and_then(|d| d.load(&(lba, i))))
+            .collect();
+        let missing = shards.iter().filter(|s| s.is_none()).count() as u64;
+        if missing > 0 {
+            self.reconstruct_group(&mut shards, lba)?;
+        }
+        let mut ops = BlockOps {
+            reconstructed: missing,
+            ..BlockOps::default()
+        };
+        for (i, slot) in shards.iter_mut().enumerate() {
+            let shard = slot.take().expect("complete after reconstruction");
+            let (old_dev, new_dev) = (old[i], new[i]);
+            if old_dev != new_dev {
+                ops.moved += 1;
+                ops.removes.push((old_dev, lba, i));
+                ops.stores.push((new_dev, lba, i, shard));
+            } else if !self.devices.get(&new_dev).is_some_and(|d| d.has(&(lba, i))) {
+                ops.stores.push((new_dev, lba, i, shard));
+            }
+        }
+        Ok(ops)
+    }
+
+    /// Applies one device's migration queue: removes first, so freed
+    /// capacity is visible to this plan's own stores on the same device.
+    fn apply_queue(
+        dev: &mut Device,
+        removes: Vec<(u64, usize)>,
+        stores: Vec<(u64, usize, Vec<u8>)>,
+    ) -> Result<(), VdsError> {
+        for (lba, copy) in removes {
+            dev.remove(&(lba, copy));
+        }
+        for (lba, copy, data) in stores {
+            dev.store((lba, copy), data)?;
+        }
+        Ok(())
+    }
+
+    /// The two-phase migration executor. Phase 1 (gather, parallel over
+    /// `&self`): each block in `work` (indices into `lbas`) loads its
+    /// group once, reconstructs what's missing, and emits device-level
+    /// ops. Phase 2 (apply, parallel over disjoint `&mut Device`s): ops
+    /// are bucketed per device and handed to workers sharded by device,
+    /// so no two workers ever touch the same device.
+    fn execute_block_ops(
+        &mut self,
+        lbas: &[u64],
+        work: &[usize],
+        old_flat: &[u64],
+        new_flat: &[u64],
+    ) -> Result<ExecOutcome, VdsError> {
+        let k = self.redundancy.total_shards();
+        let threads = self.worker_threads(work.len());
+        let mut gathered: Vec<Result<BlockOps, VdsError>> = Vec::with_capacity(work.len());
+        {
+            let this: &StorageCluster = self;
+            let gather = |j: usize| {
+                this.gather_block(
+                    lbas[j],
+                    &old_flat[j * k..(j + 1) * k],
+                    &new_flat[j * k..(j + 1) * k],
+                )
+            };
+            if threads <= 1 {
+                gathered.extend(work.iter().map(|&j| gather(j)));
+            } else {
+                let chunk = work.len().div_ceil(threads);
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = work[chunk..]
+                        .chunks(chunk)
+                        .map(|shard| {
+                            scope
+                                .spawn(move || shard.iter().map(|&j| gather(j)).collect::<Vec<_>>())
+                        })
+                        .collect();
+                    // The first shard runs on the calling thread.
+                    gathered.extend(work[..chunk].iter().map(|&j| gather(j)));
+                    for handle in handles {
+                        gathered.extend(handle.join().expect("migration gather panicked"));
+                    }
+                });
+            }
+        }
+        let mut outcome = ExecOutcome::default();
+        type Queue = (Vec<(u64, usize)>, Vec<(u64, usize, Vec<u8>)>);
+        let mut queues: BTreeMap<u64, Queue> = BTreeMap::new();
+        for result in gathered {
+            let ops = result?;
+            outcome.moved += ops.moved;
+            outcome.reconstructed += ops.reconstructed;
+            outcome.stored += ops.stores.len() as u64;
+            for (dev, lba, copy) in ops.removes {
+                queues.entry(dev).or_default().0.push((lba, copy));
+            }
+            for (dev, lba, copy, data) in ops.stores {
+                queues.entry(dev).or_default().1.push((lba, copy, data));
+            }
+        }
+        // Stores must land on a live device; removes tolerate a vanished
+        // one (a shard's old home may already be failed or dropped).
+        for (&dev, (_, stores)) in &queues {
+            if !stores.is_empty() && !self.devices.contains_key(&dev) {
+                return Err(VdsError::UnknownDevice { id: dev });
+            }
+        }
+        let mut bundles: Vec<(&mut Device, Queue)> = self
+            .devices
+            .iter_mut()
+            .filter_map(|(id, d)| queues.remove(id).map(|q| (d, q)))
+            .collect();
+        let threads = threads.min(bundles.len()).max(1);
+        if threads <= 1 {
+            for (dev, (removes, stores)) in bundles {
+                Self::apply_queue(dev, removes, stores)?;
+            }
+        } else {
+            // Longest-queue-first partition, so workers see similar loads.
+            bundles.sort_by_key(|(_, (r, s))| std::cmp::Reverse(r.len() + s.len()));
+            let mut parts: Vec<Vec<(&mut Device, Queue)>> =
+                (0..threads).map(|_| Vec::new()).collect();
+            let mut loads = vec![0usize; threads];
+            for bundle in bundles {
+                let weight = bundle.1 .0.len() + bundle.1 .1.len();
+                let lightest = (0..threads).min_by_key(|&i| loads[i]).expect("non-empty");
+                loads[lightest] += weight;
+                parts[lightest].push(bundle);
+            }
+            let results: Vec<Result<(), VdsError>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = parts
+                    .into_iter()
+                    .map(|part| {
+                        scope.spawn(move || {
+                            for (dev, (removes, stores)) in part {
+                                Self::apply_queue(dev, removes, stores)?;
+                            }
+                            Ok(())
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("migration apply panicked"))
+                    .collect()
+            });
+            for result in results {
+                result?;
+            }
+        }
+        Ok(outcome)
     }
 
     /// Gracefully removes a device, migrating its shards away first.
@@ -874,7 +1192,8 @@ impl StorageCluster {
             .map(|d| Bin::new(d.id(), d.capacity_blocks()))
             .collect::<Result<Vec<_>, _>>()?;
         let set = BinSet::new(bins)?;
-        let new_strategy = ClusterStrategy::build(&set, self.redundancy.total_shards())?;
+        let new_strategy =
+            ClusterStrategy::build(&set, self.redundancy.total_shards(), self.fast_threshold)?;
         let report = self.replace_strategy(new_strategy)?;
         let drained = self.devices.remove(&id).expect("checked above");
         debug_assert_eq!(
@@ -962,40 +1281,29 @@ impl StorageCluster {
     /// redundancy tolerates; device I/O errors on the re-stores.
     pub fn repair(&mut self) -> Result<u64, VdsError> {
         let lbas: Vec<u64> = self.blocks.iter().copied().collect();
+        let k = self.redundancy.total_shards();
         let mut repaired = 0u64;
-        // Scratch buffers reused across blocks.
-        let mut placement: Vec<u64> = Vec::new();
-        let mut shards: Vec<Option<Vec<u8>>> = Vec::new();
-        let mut missing: Vec<usize> = Vec::new();
-        for lba in lbas {
-            self.placement_into(lba, &mut placement);
-            shards.clear();
-            shards.extend(
-                placement.iter().enumerate().map(|(i, dev_id)| {
-                    self.devices.get_mut(dev_id).and_then(|d| d.load(&(lba, i)))
-                }),
-            );
-            missing.clear();
-            missing.extend(
-                shards
+        let mut flat: Vec<u64> = Vec::new();
+        for chunk in lbas.chunks(MIGRATION_CHUNK_BLOCKS) {
+            self.effective_flat(chunk, &mut flat);
+            let mut work: Vec<usize> = Vec::new();
+            for (j, &lba) in chunk.iter().enumerate() {
+                let degraded = flat[j * k..(j + 1) * k]
                     .iter()
                     .enumerate()
-                    .filter_map(|(i, s)| s.is_none().then_some(i)),
-            );
-            if missing.is_empty() {
+                    .any(|(i, id)| !self.devices.get(id).is_some_and(|d| d.has(&(lba, i))));
+                if degraded {
+                    work.push(j);
+                }
+            }
+            if work.is_empty() {
                 continue;
             }
-            self.reconstruct_group(&mut shards, lba)?;
-            for &i in &missing {
-                // Move (not clone) the reconstructed shard to its device.
-                let shard = shards[i].take().expect("reconstructed");
-                let target = self
-                    .devices
-                    .get_mut(&placement[i])
-                    .ok_or(VdsError::UnknownDevice { id: placement[i] })?;
-                target.store((lba, i), shard)?;
-                repaired += 1;
-            }
+            // Pipelined through the migration executor with old == new:
+            // each degraded stripe is gathered and decoded exactly once
+            // and the stores land only in the missing slots.
+            let outcome = self.execute_block_ops(chunk, &work, &flat, &flat)?;
+            repaired += outcome.stored;
         }
         Ok(repaired)
     }
@@ -1042,8 +1350,19 @@ impl StorageCluster {
             .filter(|d| d.state() == DeviceState::Online)
             .map(|d| Bin::new(d.id(), d.capacity_blocks()))
             .collect::<Result<Vec<_>, _>>()?;
+        let online_capacity: u64 = self
+            .devices
+            .values()
+            .filter(|d| d.state() == DeviceState::Online)
+            .map(Device::capacity_blocks)
+            .sum();
         bins.push(Bin::new(id, capacity_blocks)?);
-        self.plan_against(&BinSet::new(bins)?)
+        // Fair minimum (Lemma 3.2): any strategy must move the new
+        // device's capacity share of all shards onto it.
+        let shards_total = self.blocks.len() as f64 * self.redundancy.total_shards() as f64;
+        let fair_min =
+            shards_total * capacity_blocks as f64 / (online_capacity + capacity_blocks) as f64;
+        self.plan_against(&BinSet::new(bins)?, fair_min)
     }
 
     /// Dry-runs removing a device: returns the migration plan without
@@ -1062,28 +1381,87 @@ impl StorageCluster {
             .filter(|d| d.id() != id && d.state() == DeviceState::Online)
             .map(|d| Bin::new(d.id(), d.capacity_blocks()))
             .collect::<Result<Vec<_>, _>>()?;
-        self.plan_against(&BinSet::new(bins)?)
+        // Fair minimum (Lemma 3.2): the shards resident on the leaving
+        // device must move, whatever the strategy.
+        let fair_min = self.devices[&id].used_blocks() as f64;
+        self.plan_against(&BinSet::new(bins)?, fair_min)
     }
 
-    /// Diffs the current placement against a hypothetical bin set.
-    fn plan_against(&self, bins: &BinSet) -> Result<MigrationPlan, VdsError> {
-        let candidate = ClusterStrategy::build(bins, self.redundancy.total_shards())?;
-        let mut plan = MigrationPlan::default();
-        for &lba in &self.blocks {
-            let old = self.effective_placement(lba);
-            let new = candidate.place(lba);
-            plan.shards_total += old.len() as u64;
-            for (copy, (o, n)) in old.iter().zip(&new).enumerate() {
-                if *o != n.raw() {
-                    plan.moves.push(ShardMove {
-                        lba,
-                        copy,
-                        from: *o,
-                        to: n.raw(),
-                    });
+    /// Dry-runs [`StorageCluster::rebuild`]: the migration plan for
+    /// dropping every failed device, without touching any data. With no
+    /// failed devices the bin set is unchanged and the plan is empty.
+    ///
+    /// # Errors
+    ///
+    /// Placement errors if too few devices survive.
+    pub fn plan_rebuild(&self) -> Result<MigrationPlan, VdsError> {
+        let failed: BTreeSet<u64> = self
+            .devices
+            .values()
+            .filter(|d| d.state() == DeviceState::Failed)
+            .map(Device::id)
+            .collect();
+        let bins: Vec<Bin> = self
+            .devices
+            .values()
+            .filter(|d| d.state() == DeviceState::Online)
+            .map(|d| Bin::new(d.id(), d.capacity_blocks()))
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut plan = self.plan_against(&BinSet::new(bins)?, 0.0)?;
+        // Fair minimum: every shard placed on a failed device must move,
+        // and the candidate excludes failed devices, so those shards are
+        // exactly the moves leaving them.
+        plan.fair_min_shards = plan
+            .moves
+            .iter()
+            .filter(|m| failed.contains(&m.from))
+            .count() as f64;
+        Ok(plan)
+    }
+
+    /// Diffs the current placement against a hypothetical bin set, in
+    /// bulk: old (effective) and candidate placements are computed a
+    /// chunk at a time through the stride-k batch API and compared
+    /// slice-against-slice, so unchanged blocks — the common case under
+    /// 2–4-competitive churn — cost two batched lookups and one memcmp.
+    /// The moves are sorted so every (source → target) device queue is
+    /// contiguous ([`MigrationPlan::device_queues`]).
+    fn plan_against(&self, bins: &BinSet, fair_min_shards: f64) -> Result<MigrationPlan, VdsError> {
+        let k = self.redundancy.total_shards();
+        let candidate = ClusterStrategy::build(bins, k, self.fast_threshold)?;
+        let lbas: Vec<u64> = self.blocks.iter().copied().collect();
+        let mut plan = MigrationPlan {
+            shards_total: (lbas.len() * k) as u64,
+            blocks_total: lbas.len() as u64,
+            fair_min_shards,
+            ..MigrationPlan::default()
+        };
+        let mut old_flat: Vec<u64> = Vec::new();
+        let mut new_ids: Vec<BinId> = Vec::new();
+        for chunk in lbas.chunks(MIGRATION_CHUNK_BLOCKS) {
+            self.effective_flat(chunk, &mut old_flat);
+            candidate.place_batch_into(chunk, &mut new_ids);
+            for (j, &lba) in chunk.iter().enumerate() {
+                let old = &old_flat[j * k..(j + 1) * k];
+                let new = &new_ids[j * k..(j + 1) * k];
+                let before = plan.moves.len();
+                for (copy, (o, n)) in old.iter().zip(new).enumerate() {
+                    if *o != n.raw() {
+                        plan.moves.push(ShardMove {
+                            lba,
+                            copy,
+                            from: *o,
+                            to: n.raw(),
+                        });
+                    }
+                }
+                if plan.moves.len() > before {
+                    plan.blocks_planned += 1;
                 }
             }
         }
+        plan.moves
+            .sort_unstable_by_key(|m| (m.from, m.to, m.lba, m.copy));
         Ok(plan)
     }
 
@@ -1112,8 +1490,10 @@ impl StorageCluster {
     }
 
     /// Swaps in a new placement strategy and migrates every shard whose
-    /// computed location changed. Shards whose old location is gone are
-    /// reconstructed from the group's redundancy.
+    /// computed location changed, through the batched parallel executor.
+    /// Shards whose old location is gone are reconstructed from the
+    /// group's redundancy (each degraded stripe is decoded exactly once,
+    /// however many of its shards need rebuilding).
     fn replace_strategy(
         &mut self,
         new_strategy: ClusterStrategy,
@@ -1122,69 +1502,31 @@ impl StorageCluster {
             .strategy
             .replace(new_strategy)
             .expect("strategy always present");
-        // One epoch bump invalidates every cached placement of the old
-        // strategy; the migration loop below re-populates the cache with
-        // target placements as a side effect.
+        // One epoch bump per plan invalidates every cached placement of
+        // the old strategy; nothing per block touches the cache.
         self.placement_epoch += 1;
         // Any in-flight lazy migration is absorbed: blocks it had not yet
         // moved are gathered from their true (pre-lazy-change) locations.
         let absorbed = self.pending.take();
-        let effective_old = |lba: u64, out: &mut Vec<u64>| {
-            let strat = match &absorbed {
-                Some(p) if p.remaining.contains(&lba) => &p.old_strategy,
-                _ => &old_strategy,
-            };
-            strat.place_ids_into(lba, out);
-        };
-        let mut report = MigrationReport::default();
         let lbas: Vec<u64> = self.blocks.iter().copied().collect();
-        // Scratch buffers reused across blocks.
-        let mut old_placement: Vec<u64> = Vec::new();
-        let mut shards: Vec<Option<Vec<u8>>> = Vec::new();
-        for lba in lbas {
-            report.blocks += 1;
-            effective_old(lba, &mut old_placement);
-            let new_placement = self.target_placement(lba);
-            report.shards_total += new_placement.len() as u64;
-            if old_placement.as_slice() == &*new_placement
-                && new_placement
-                    .iter()
-                    .enumerate()
-                    .all(|(i, id)| self.devices.get(id).is_some_and(|d| d.has(&(lba, i))))
-            {
-                continue;
-            }
-            // Gather surviving shards from their old locations.
-            shards.clear();
-            shards.extend(
-                old_placement.iter().enumerate().map(|(i, dev_id)| {
-                    self.devices.get_mut(dev_id).and_then(|d| d.load(&(lba, i)))
-                }),
-            );
-            let missing = shards.iter().filter(|s| s.is_none()).count();
-            if missing > 0 {
-                report.shards_reconstructed += missing as u64;
-                self.reconstruct_group(&mut shards, lba)?;
-            }
-            // Move shards to their new homes.
-            for (i, slot) in shards.iter_mut().enumerate() {
-                let shard = slot.take().expect("complete after reconstruction");
-                let (old_dev, new_dev) = (old_placement[i], new_placement[i]);
-                let relocated = old_dev != new_dev;
-                if relocated {
-                    report.shards_moved += 1;
-                    if let Some(d) = self.devices.get_mut(&old_dev) {
-                        d.remove(&(lba, i));
+        let k = self.redundancy.total_shards();
+        let mut report = MigrationReport::default();
+        let mut old_ids: Vec<BinId> = Vec::new();
+        let mut old_flat: Vec<u64> = Vec::new();
+        let mut scratch: Vec<u64> = Vec::new();
+        for chunk in lbas.chunks(MIGRATION_CHUNK_BLOCKS) {
+            old_strategy.place_batch_into(chunk, &mut old_ids);
+            old_flat.clear();
+            old_flat.extend(old_ids.iter().map(|b| b.raw()));
+            if let Some(p) = &absorbed {
+                for (j, &lba) in chunk.iter().enumerate() {
+                    if p.remaining.contains(&lba) {
+                        p.old_strategy.place_ids_into(lba, &mut scratch);
+                        old_flat[j * k..(j + 1) * k].copy_from_slice(&scratch);
                     }
                 }
-                let target = self
-                    .devices
-                    .get_mut(&new_dev)
-                    .ok_or(VdsError::UnknownDevice { id: new_dev })?;
-                if relocated || !target.has(&(lba, i)) {
-                    target.store((lba, i), shard)?;
-                }
             }
+            report.merge(self.rebalance_chunk(chunk, &old_flat, true)?);
         }
         Ok(report)
     }
@@ -1845,5 +2187,157 @@ mod tests {
             StorageCluster::builder().device(0, 1).device(0, 2).build(),
             Err(VdsError::InvalidConfig { .. })
         ));
+    }
+
+    #[test]
+    fn fast_strategy_threshold_knob_selects_engine() {
+        // Threshold at (or below) the device count forces the fast engine
+        // on a small cluster; usize::MAX pins the scan on a large one.
+        let forced_fast = StorageCluster::builder()
+            .block_size(64)
+            .redundancy(Redundancy::Mirror { copies: 2 })
+            .fast_strategy_threshold(4)
+            .device(0, 10_000)
+            .device(1, 10_000)
+            .device(2, 10_000)
+            .device(3, 10_000)
+            .build()
+            .unwrap();
+        assert!(matches!(forced_fast.strategy(), ClusterStrategy::Fast(_)));
+        let mut b = StorageCluster::builder()
+            .block_size(64)
+            .redundancy(Redundancy::Mirror { copies: 2 })
+            .fast_strategy_threshold(usize::MAX);
+        for id in 0..FAST_PLACEMENT_MIN_DEVICES as u64 {
+            b = b.device(id, 5_000);
+        }
+        let pinned_scan = b.build().unwrap();
+        assert!(matches!(pinned_scan.strategy(), ClusterStrategy::Scan(_)));
+        // The threshold survives membership changes.
+        let mut c = forced_fast;
+        c.add_device(9, 10_000).unwrap();
+        assert!(matches!(c.strategy(), ClusterStrategy::Fast(_)));
+        c.remove_device(9).unwrap();
+        assert!(matches!(c.strategy(), ClusterStrategy::Fast(_)));
+    }
+
+    #[test]
+    fn migrate_batch_matches_migrate_step() {
+        let mut serial = mirror_cluster();
+        let mut batched = StorageCluster::builder()
+            .block_size(64)
+            .redundancy(Redundancy::Mirror { copies: 2 })
+            .migration_threads(2)
+            .device(0, 10_000)
+            .device(1, 10_000)
+            .device(2, 10_000)
+            .device(3, 10_000)
+            .build()
+            .unwrap();
+        for lba in 0..1_000u64 {
+            serial.write_block(lba, &block(lba as u8, 64)).unwrap();
+            batched.write_block(lba, &block(lba as u8, 64)).unwrap();
+        }
+        serial.add_device_lazy(9, 10_000).unwrap();
+        batched.add_device_lazy(9, 10_000).unwrap();
+        let mut serial_report = MigrationReport::default();
+        let mut batched_report = MigrationReport::default();
+        while serial.pending_blocks() > 0 {
+            serial_report.merge(serial.migrate_step(117).unwrap());
+        }
+        while batched.pending_blocks() > 0 {
+            let before = batched.pending_blocks();
+            batched_report.merge(batched.migrate_batch(117).unwrap());
+            // The budget is honoured: at most 117 blocks per call.
+            assert!(before - batched.pending_blocks() <= 117);
+        }
+        assert_eq!(serial_report, batched_report);
+        // Same placements, same bytes, same per-device occupancy.
+        for lba in 0..1_000u64 {
+            assert_eq!(serial.placement(lba), batched.placement(lba));
+            assert_eq!(batched.read_block(lba).unwrap(), block(lba as u8, 64));
+        }
+        for id in serial.device_ids() {
+            assert_eq!(
+                serial.device(id).unwrap().used_blocks(),
+                batched.device(id).unwrap().used_blocks(),
+                "device {id}"
+            );
+        }
+        assert_eq!(batched.scrub().unwrap(), 0);
+        // Idempotent when drained.
+        assert_eq!(
+            batched.migrate_batch(10).unwrap(),
+            MigrationReport::default()
+        );
+    }
+
+    #[test]
+    fn rebalance_drains_everything_at_once() {
+        let mut c = mirror_cluster();
+        for lba in 0..600u64 {
+            c.write_block(lba, &block(lba as u8, 64)).unwrap();
+        }
+        // No-op without a pending migration.
+        assert_eq!(c.rebalance().unwrap(), MigrationReport::default());
+        c.add_device_lazy(9, 10_000).unwrap();
+        let report = c.rebalance().unwrap();
+        assert_eq!(report.blocks, 600);
+        assert_eq!(c.pending_blocks(), 0);
+        assert!(report.shards_moved > 0);
+        assert!(c.device(9).unwrap().used_blocks() > 0);
+        assert_eq!(c.scrub().unwrap(), 0);
+    }
+
+    #[test]
+    fn plan_rebuild_is_empty_without_failures() {
+        let mut c = mirror_cluster();
+        for lba in 0..400u64 {
+            c.write_block(lba, &block(lba as u8, 64)).unwrap();
+        }
+        // Satellite: a no-op membership "change" must plan zero moves …
+        let plan = c.plan_rebuild().unwrap();
+        assert!(plan.moves.is_empty());
+        assert_eq!(plan.blocks_planned, 0);
+        assert_eq!(plan.blocks_total, 400);
+        assert_eq!(plan.competitive_ratio(), 0.0);
+        // … and the executed no-op rebuild moves zero shards.
+        let report = c.rebuild().unwrap();
+        assert_eq!(report.shards_moved, 0);
+        assert_eq!(report.shards_reconstructed, 0);
+        // With a failure, the plan predicts the rebuild exactly.
+        c.fail_device(1).unwrap();
+        let plan = c.plan_rebuild().unwrap();
+        assert!(plan.fair_min_shards > 0.0);
+        assert!(plan.competitive_ratio() >= 1.0);
+        let report = c.rebuild().unwrap();
+        assert_eq!(plan.moves.len() as u64, report.shards_moved);
+    }
+
+    #[test]
+    fn plan_accounting_and_device_queues() {
+        let mut c = mirror_cluster();
+        for lba in 0..2_000u64 {
+            c.write_block(lba, &block(lba as u8, 64)).unwrap();
+        }
+        let plan = c.plan_add_device(9, 10_000).unwrap();
+        assert_eq!(plan.blocks_total, 2_000);
+        assert_eq!(plan.shards_total, 4_000);
+        assert!(plan.blocks_planned > 0);
+        assert!(plan.blocks_planned < plan.blocks_total, "skip-unchanged");
+        assert!(plan.fair_min_shards > 0.0);
+        // Lemma 3.2: the measured competitive ratio stays within 4.
+        let ratio = plan.competitive_ratio();
+        assert!(ratio > 0.0 && ratio <= 4.0, "ratio {ratio}");
+        // Moves are sorted so device queues are contiguous and exhaustive.
+        let queues = plan.device_queues();
+        let mut seen = std::collections::BTreeSet::new();
+        let mut covered = 0usize;
+        for (from, to, moves) in queues {
+            assert!(seen.insert((from, to)), "queue ({from},{to}) repeated");
+            assert!(moves.iter().all(|m| m.from == from && m.to == to));
+            covered += moves.len();
+        }
+        assert_eq!(covered, plan.moves.len());
     }
 }

@@ -18,9 +18,10 @@
 //!   `rebuild`) migrate only the shards whose computed location changed;
 //!   [`MigrationReport`] quantifies the volume the paper's adaptivity
 //!   lemmas bound. Changes can be **dry-run** ([`MigrationPlan`]) or run
-//!   **lazily** (`add_device_lazy` + `migrate_step`: the mapping switches
-//!   instantly, data follows incrementally — both mappings are pure
-//!   functions, so serving from either side needs no forwarding tables).
+//!   **lazily** (`add_device_lazy` + `migrate_batch`/`migrate_step`: the
+//!   mapping switches instantly, data follows incrementally — both
+//!   mappings are pure functions, so serving from either side needs no
+//!   forwarding tables).
 //! * Devices carry [`DeviceProfile`]s; simulated busy time and the
 //!   workload *makespan* turn placement fairness into completion-time
 //!   statements.
@@ -53,15 +54,17 @@ mod cache;
 mod cluster;
 mod device;
 mod error;
+mod migration;
 mod profile;
 mod redundancy;
 mod shared;
 mod vdisk;
 
 pub use cache::{CacheStats, MAX_CACHED_SHARDS};
-pub use cluster::{ClusterBuilder, MigrationPlan, MigrationReport, ShardMove, StorageCluster};
+pub use cluster::{ClusterBuilder, StorageCluster};
 pub use device::{Device, DeviceState, IoStats};
 pub use error::VdsError;
+pub use migration::{MigrationPlan, MigrationReport, ShardMove};
 pub use profile::DeviceProfile;
 pub use redundancy::Redundancy;
 pub use shared::SharedCluster;

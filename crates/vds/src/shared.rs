@@ -8,8 +8,9 @@
 
 use std::sync::{Arc, Mutex};
 
-use crate::cluster::{MigrationReport, StorageCluster};
+use crate::cluster::StorageCluster;
 use crate::error::VdsError;
+use crate::migration::MigrationReport;
 
 /// A cloneable, `Send + Sync` handle to a [`StorageCluster`].
 ///
@@ -89,6 +90,24 @@ impl SharedCluster {
     /// Propagates the underlying cluster error.
     pub fn migrate_step(&self, max_blocks: u64) -> Result<MigrationReport, VdsError> {
         self.with(|c| c.migrate_step(max_blocks))
+    }
+
+    /// See [`StorageCluster::migrate_batch`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`StorageCluster::migrate_batch`].
+    pub fn migrate_batch(&self, max_blocks: u64) -> Result<MigrationReport, VdsError> {
+        self.with(|c| c.migrate_batch(max_blocks))
+    }
+
+    /// See [`StorageCluster::rebalance`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`StorageCluster::rebalance`].
+    pub fn rebalance(&self) -> Result<MigrationReport, VdsError> {
+        self.with(|c| c.rebalance())
     }
 
     /// Consumes the handle, returning the cluster if this was the last

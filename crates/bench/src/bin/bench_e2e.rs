@@ -17,7 +17,7 @@
 use std::hint::black_box;
 use std::time::Instant;
 
-use rshare_bench::{f, print_table, section};
+use rshare_bench::{f, print_table, records_json, section, Record};
 use rshare_erasure::{gf256, ErasureCode, MatrixCode, ReedSolomon};
 use rshare_vds::{Redundancy, StorageCluster};
 
@@ -219,6 +219,8 @@ fn to_json(cells: &[Cell], quick: bool) -> String {
         ));
     }
     s.push_str("  ],\n");
+    s.push_str(&records_json(&records(cells)));
+    s.push_str(",\n");
     s.push_str(&format!(
         "  \"summary\": {{\"cached_lookup_speedup\": {:.2}, \"cached_read_speedup\": {:.2}, \"table_encode_speedup\": {:.2}}}\n",
         speedup(cells, "placement_lookup", "cached", "uncached"),
@@ -228,6 +230,37 @@ fn to_json(cells: &[Cell], quick: bool) -> String {
     s.push('}');
     s.push('\n');
     s
+}
+
+/// The unified cross-binary records: one throughput entry per cell, the
+/// slow variant of the same benchmark as the baseline.
+fn records(cells: &[Cell]) -> Vec<Record> {
+    cells
+        .iter()
+        .map(|c| {
+            let name = format!("{}_{}", c.bench, c.mode);
+            let unit: &'static str = match c.unit {
+                "lookups" => "lookups_per_s",
+                "blocks" => "blocks_per_s",
+                _ => "bytes_per_s",
+            };
+            let slow = match c.mode {
+                "cached" => Some("uncached"),
+                "table" => Some("bytewise"),
+                _ => None,
+            };
+            match slow {
+                Some(slow_mode) => {
+                    let base = cells
+                        .iter()
+                        .find(|s| s.bench == c.bench && s.mode == slow_mode)
+                        .expect("baseline cell present");
+                    Record::with_baseline(name, unit, c.per_s(), base.per_s())
+                }
+                None => Record::new(name, unit, c.per_s()),
+            }
+        })
+        .collect()
 }
 
 fn main() {

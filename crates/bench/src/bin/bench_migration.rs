@@ -22,7 +22,7 @@
 use std::hint::black_box;
 use std::time::Instant;
 
-use rshare_bench::{f, print_table, section};
+use rshare_bench::{f, print_table, records_json, section, Record};
 use rshare_vds::{MigrationPlan, Redundancy, StorageCluster};
 
 /// Timing repetitions per cell; the best (minimum) time is reported.
@@ -253,6 +253,8 @@ fn to_json(cells: &[Cell], ratios: &[Ratio], smoke: bool, blocks: u64) -> String
         ));
     }
     s.push_str("  ],\n");
+    s.push_str(&records_json(&records(cells, ratios)));
+    s.push_str(",\n");
     let max_ratio = ratios.iter().map(|r| r.ratio).fold(0.0f64, f64::max);
     s.push_str(&format!(
         "  \"summary\": {{\"planned_vs_serial_speedup\": {:.2}, \"parallel_vs_serial_speedup\": {:.2}, \"fast_vs_scan_plan_speedup\": {:.2}, \"max_competitive_ratio\": {:.3}, \"paper_bound\": 4.0}}\n",
@@ -264,6 +266,46 @@ fn to_json(cells: &[Cell], ratios: &[Ratio], smoke: bool, blocks: u64) -> String
     s.push('}');
     s.push('\n');
     s
+}
+
+/// The unified cross-binary records: one throughput entry per cell with
+/// the serial / scan-engine variant as the baseline, plus one ratio entry
+/// per membership change measured against the paper's proven bound of 4.
+fn records(cells: &[Cell], ratios: &[Ratio]) -> Vec<Record> {
+    let mut out: Vec<Record> = cells
+        .iter()
+        .map(|c| {
+            let name = format!("{}_{}", c.bench, c.mode);
+            let unit: &'static str = match c.unit {
+                "blocks" => "blocks_per_s",
+                _ => "plans_per_s",
+            };
+            let slow = match (c.bench, c.mode) {
+                ("migration_drain", "planned" | "parallel") => Some("serial"),
+                ("plan_add", "fast_engine") => Some("scan_engine"),
+                _ => None,
+            };
+            match slow {
+                Some(slow_mode) => {
+                    let base = cells
+                        .iter()
+                        .find(|s| s.bench == c.bench && s.mode == slow_mode)
+                        .expect("baseline cell present");
+                    Record::with_baseline(name, unit, c.per_s(), base.per_s())
+                }
+                None => Record::new(name, unit, c.per_s()),
+            }
+        })
+        .collect();
+    out.extend(ratios.iter().map(|r| {
+        Record::with_baseline(
+            format!("competitive_ratio_{}", r.change),
+            "ratio",
+            r.ratio,
+            4.0,
+        )
+    }));
+    out
 }
 
 fn main() {

@@ -13,7 +13,7 @@
 use std::hint::black_box;
 use std::time::Instant;
 
-use rshare_bench::{f, print_table, section};
+use rshare_bench::{f, print_table, records_json, section, Record};
 use rshare_core::{BinId, BinSet, PlacementEngine, PlacementStrategy, RedundantShare};
 
 /// Timing repetitions per cell; the best (minimum) time is reported.
@@ -134,8 +134,35 @@ fn to_json(cells: &[Cell], threads: usize, quick: bool) -> String {
             if i + 1 == cells.len() { "" } else { "," }
         ));
     }
-    s.push_str("  ]\n}\n");
+    s.push_str("  ],\n");
+    s.push_str(&records_json(&records(cells)));
+    s.push_str("\n}\n");
     s
+}
+
+/// The unified cross-binary records: one throughput entry per cell, the
+/// scalar path of the same `(n, k)` as the baseline.
+fn records(cells: &[Cell]) -> Vec<Record> {
+    cells
+        .iter()
+        .map(|c| {
+            let name = format!("placements_{}_n{}_k{}", c.mode, c.n, c.k);
+            let scalar = cells
+                .iter()
+                .find(|s| s.n == c.n && s.k == c.k && s.mode == "scalar")
+                .expect("scalar cell present");
+            if c.mode == "scalar" {
+                Record::new(name, "placements_per_s", c.placements_per_s())
+            } else {
+                Record::with_baseline(
+                    name,
+                    "placements_per_s",
+                    c.placements_per_s(),
+                    scalar.placements_per_s(),
+                )
+            }
+        })
+        .collect()
 }
 
 fn main() {

@@ -53,6 +53,79 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
     }
 }
 
+/// One observation in the unified cross-binary record schema.
+///
+/// Every `bench_*` binary emits a `"records"` array of these alongside
+/// its binary-specific tables, so downstream tooling can diff runs
+/// without knowing each report's shape: a named scalar, its unit, and —
+/// when the binary also measured a reference configuration (serial,
+/// uncached, metrics-off, …) — that baseline value for the same quantity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Series name, `snake_case`, unique within one report.
+    pub name: String,
+    /// Unit of `value` (e.g. `blocks_per_s`, `percent`, `ratio`).
+    pub unit: &'static str,
+    /// The measured value.
+    pub value: f64,
+    /// The same quantity in the reference configuration, if one exists.
+    pub baseline: Option<f64>,
+}
+
+impl Record {
+    /// A record with no reference configuration.
+    #[must_use]
+    pub fn new(name: impl Into<String>, unit: &'static str, value: f64) -> Self {
+        Self {
+            name: name.into(),
+            unit,
+            value,
+            baseline: None,
+        }
+    }
+
+    /// A record measured against a reference configuration.
+    #[must_use]
+    pub fn with_baseline(
+        name: impl Into<String>,
+        unit: &'static str,
+        value: f64,
+        baseline: f64,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            unit,
+            value,
+            baseline: Some(baseline),
+        }
+    }
+}
+
+/// Renders the unified `"records": [...]` JSON fragment (hand-rolled —
+/// no serde in the dependency set), indented for the two-space report
+/// layout the `bench_*` binaries share. The fragment carries no trailing
+/// comma or newline; callers splice it between other top-level keys.
+#[must_use]
+pub fn records_json(records: &[Record]) -> String {
+    let mut s = String::from("  \"records\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"unit\": \"{}\", \"value\": {:.4}",
+            r.name, r.unit, r.value
+        ));
+        if let Some(b) = r.baseline {
+            s.push_str(&format!(", \"baseline\": {b:.4}"));
+        }
+        s.push('}');
+        if i + 1 != records.len() {
+            s.push(',');
+        }
+        s.push('\n');
+    }
+    s.push_str("  ]");
+    s
+}
+
 /// Formats a float with 4 decimal places (the precision used throughout
 /// the experiment reports).
 #[must_use]
@@ -74,6 +147,25 @@ mod tests {
     fn formatting() {
         assert_eq!(f(0.123456), "0.1235");
         assert_eq!(pct(0.5), "50.00%");
+    }
+
+    #[test]
+    fn records_render_the_unified_schema() {
+        let records = [
+            Record::with_baseline("cached_reads", "blocks_per_s", 2.0, 1.0),
+            Record::new("overhead", "percent", 3.25),
+        ];
+        let json = records_json(&records);
+        assert!(json.starts_with("  \"records\": [\n"));
+        assert!(json.ends_with("  ]"));
+        assert!(json.contains(
+            "{\"name\": \"cached_reads\", \"unit\": \"blocks_per_s\", \
+             \"value\": 2.0000, \"baseline\": 1.0000},"
+        ));
+        assert!(
+            json.contains("{\"name\": \"overhead\", \"unit\": \"percent\", \"value\": 3.2500}\n")
+        );
+        assert_eq!(records_json(&[]), "  \"records\": [\n  ]");
     }
 
     #[test]

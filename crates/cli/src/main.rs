@@ -44,6 +44,7 @@ fn run(argv: Vec<String>) -> Result<(), ArgError> {
         "roles" => cmd_roles(&args),
         "durability" => cmd_durability(&args),
         "simulate" => cmd_simulate(&args),
+        "metrics" => cmd_metrics(&args),
         other => Err(ArgError(format!("unknown subcommand '{other}'"))),
     }
 }
@@ -69,6 +70,9 @@ fn print_help() {
          \x20         fairness of every strategy in the workspace side by side\n\
          simulate  --capacities LIST [--blocks N]\n\
          \x20         run a mirrored cluster through load / grow / fail / rebuild\n\
+         metrics   --capacities LIST [--blocks N] [--fail ID]\n\
+         \x20         load a mirrored cluster, optionally fail a device, and print\n\
+         \x20         the health summary plus the Prometheus metrics exposition\n\
          durability --capacities LIST --k K --tolerated T [--mtbf H] [--rebuild H]\n\
          \x20         Monte-Carlo 5-year data-loss probability\n\
          \n\
@@ -358,6 +362,75 @@ crashing device 0 and rebuilding…"
     Ok(())
 }
 
+fn cmd_metrics(args: &Args) -> Result<(), ArgError> {
+    let caps = args.capacities()?;
+    let blocks = args.u64_or("blocks", 10_000)?;
+    let mut builder = StorageCluster::builder()
+        .block_size(16)
+        .redundancy(Redundancy::Mirror { copies: 2 });
+    for (i, cap) in caps.iter().enumerate() {
+        builder = builder.device(i as u64, *cap);
+    }
+    let mut cluster = builder.build().map_err(|e| ArgError(e.to_string()))?;
+
+    // A short workload so every series has moved: write all, read all,
+    // and — when asked — fail a device and read through the degradation.
+    let payload = [0x42u8; 16];
+    for lba in 0..blocks {
+        cluster
+            .write_block(lba, &payload)
+            .map_err(|e| ArgError(format!("load failed at block {lba}: {e}")))?;
+    }
+    for lba in 0..blocks {
+        cluster
+            .read_block(lba)
+            .map_err(|e| ArgError(e.to_string()))?;
+    }
+    if let Some(id) = args.optional("fail") {
+        let id: u64 = id
+            .parse()
+            .map_err(|_| ArgError("--fail must be a device id".into()))?;
+        cluster
+            .fail_device(id)
+            .map_err(|e| ArgError(e.to_string()))?;
+        for lba in 0..blocks {
+            cluster
+                .read_block(lba)
+                .map_err(|e| ArgError(e.to_string()))?;
+        }
+    }
+
+    let snap = cluster.health_snapshot();
+    println!(
+        "devices: {} online, {} failed | blocks: {} | pending: {} | degraded: {}",
+        snap.devices_online,
+        snap.devices_failed,
+        snap.blocks,
+        snap.pending_blocks,
+        snap.degraded_blocks
+    );
+    println!(
+        "{:>6}  {:>12}  {:>10}  {:>10}  {:>10}",
+        "device", "used/cap", "share", "fair", "deviation"
+    );
+    for d in &snap.fairness.devices {
+        println!(
+            "{:>6}  {:>12}  {:>10.4}  {:>10.4}  {:>+9.2}%",
+            d.device,
+            format!("{}/{}", d.used_blocks, d.capacity_blocks),
+            d.share,
+            d.fair_share,
+            100.0 * d.deviation
+        );
+    }
+    println!(
+        "max fairness deviation: {:.4} (paper bar: capacity-proportional shares)\n",
+        snap.fairness.max_deviation
+    );
+    print!("{}", cluster.export_prometheus());
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -470,6 +543,38 @@ mod tests {
     #[test]
     fn roles_command() {
         run_tokens(&["roles", "--capacities", "1000,500,300", "--k", "2"]).unwrap();
+    }
+
+    #[test]
+    fn metrics_command() {
+        run_tokens(&[
+            "metrics",
+            "--capacities",
+            "2000,3000,3000",
+            "--blocks",
+            "800",
+        ])
+        .unwrap();
+        run_tokens(&[
+            "metrics",
+            "--capacities",
+            "2000,3000,3000",
+            "--blocks",
+            "800",
+            "--fail",
+            "1",
+        ])
+        .unwrap();
+        assert!(run_tokens(&[
+            "metrics",
+            "--capacities",
+            "2000,3000",
+            "--blocks",
+            "100",
+            "--fail",
+            "9"
+        ])
+        .is_err());
     }
 
     #[test]

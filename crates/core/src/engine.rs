@@ -13,6 +13,10 @@
 //! property tests of this crate pin that down. Parallelism changes only
 //! wall-clock time, never placements.
 
+use std::sync::Arc;
+
+use rshare_obs::{Counter, Registry};
+
 use crate::bins::BinId;
 use crate::strategy::PlacementStrategy;
 
@@ -45,6 +49,15 @@ const MIN_BALLS_PER_THREAD: usize = 256;
 pub struct PlacementEngine<S> {
     strategy: S,
     threads: usize,
+    metrics: Option<EngineMetrics>,
+}
+
+/// Shared handles an instrumented engine bumps once per batch — two
+/// relaxed atomic adds, regardless of batch size or thread count.
+#[derive(Debug, Clone)]
+struct EngineMetrics {
+    batches: Arc<Counter>,
+    balls: Arc<Counter>,
 }
 
 impl<S: PlacementStrategy + Sync> PlacementEngine<S> {
@@ -61,7 +74,27 @@ impl<S: PlacementStrategy + Sync> PlacementEngine<S> {
         Self {
             strategy,
             threads: threads.max(1),
+            metrics: None,
         }
+    }
+
+    /// Publishes per-batch series into `registry` and returns the
+    /// instrumented engine: `placement_batches_total` counts batch calls,
+    /// `placement_balls_total` counts balls placed through them. An
+    /// uninstrumented engine (the default) skips both entirely.
+    #[must_use]
+    pub fn instrumented(mut self, registry: &Registry) -> Self {
+        self.metrics = Some(EngineMetrics {
+            batches: registry.counter(
+                "placement_batches_total",
+                "Batched placement queries resolved by the engine",
+            ),
+            balls: registry.counter(
+                "placement_balls_total",
+                "Balls placed through the batch engine",
+            ),
+        });
+        self
     }
 
     /// The wrapped strategy.
@@ -87,6 +120,10 @@ impl<S: PlacementStrategy + Sync> PlacementEngine<S> {
     /// configured with one thread — run the strategy's own
     /// [`PlacementStrategy::place_batch_into`] inline.
     pub fn place_batch_into(&self, balls: &[u64], out: &mut Vec<BinId>) {
+        if let Some(m) = &self.metrics {
+            m.batches.inc();
+            m.balls.add(balls.len() as u64);
+        }
         let threads = self
             .threads
             .min(balls.len() / MIN_BALLS_PER_THREAD.max(1))
@@ -190,6 +227,20 @@ mod tests {
             &flat[flat.len() - 2..],
             strat.place(*balls.last().unwrap()).as_slice()
         );
+    }
+
+    #[test]
+    fn instrumented_engine_counts_batches_and_balls() {
+        let registry = Registry::new();
+        let strat = strategy(&[50, 40, 30, 20, 10], 2);
+        let engine = PlacementEngine::with_threads(strat, 2).instrumented(&registry);
+        let balls: Vec<u64> = (0..1_000).collect();
+        let _ = engine.place_batch(&balls);
+        let _ = engine.place_batch(&balls[..10]);
+        let batches = registry.counter("placement_batches_total", "");
+        let placed = registry.counter("placement_balls_total", "");
+        assert_eq!(batches.get(), 2);
+        assert_eq!(placed.get(), 1_010);
     }
 
     #[test]

@@ -12,6 +12,64 @@
 /// The irreducible polynomial x⁸ + x⁴ + x³ + x² + 1.
 const POLY: u16 = 0x11d;
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bytes processed by the word-at-a-time XOR kernel ([`xor_acc`],
+/// including the coefficient-1 fast path of [`mul_acc`]).
+static XOR_BYTES: AtomicU64 = AtomicU64::new(0);
+/// Bytes processed by the table-driven multiply kernel (`c >= 2`).
+static MUL_BYTES: AtomicU64 = AtomicU64::new(0);
+/// Bulk-kernel invocations that did work (zero-coefficient calls return
+/// before touching data and are not counted).
+static KERNEL_CALLS: AtomicU64 = AtomicU64::new(0);
+
+/// Cumulative tallies of the bulk GF(256) kernels, maintained with
+/// relaxed atomics — one `fetch_add` per kernel *call* (not per byte), so
+/// the cost is amortised over an entire shard.
+///
+/// Only the production table kernels count; the reference
+/// [`mul_acc_bytewise`] is left untouched so overhead comparisons against
+/// it stay honest. Exporters poll [`kernel_stats`] and publish the fields
+/// as monotone counters (e.g. `gf_mul_bytes_total`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Bytes XOR-accumulated (parity/EVENODD/RDP traffic plus every
+    /// coefficient-1 Reed–Solomon row).
+    pub xor_bytes: u64,
+    /// Bytes run through the flat-table multiply (coefficients ≥ 2).
+    pub mul_bytes: u64,
+    /// Kernel invocations that processed data.
+    pub calls: u64,
+}
+
+impl KernelStats {
+    /// Total bytes processed by both kernels.
+    #[must_use]
+    pub const fn total_bytes(&self) -> u64 {
+        self.xor_bytes + self.mul_bytes
+    }
+}
+
+/// A snapshot of the cumulative kernel tallies.
+#[must_use]
+pub fn kernel_stats() -> KernelStats {
+    KernelStats {
+        xor_bytes: XOR_BYTES.load(Ordering::Relaxed),
+        mul_bytes: MUL_BYTES.load(Ordering::Relaxed),
+        calls: KERNEL_CALLS.load(Ordering::Relaxed),
+    }
+}
+
+/// Resets the kernel tallies to zero, returning the values they held —
+/// benchmark harnesses bracket a measured region with this.
+pub fn reset_kernel_stats() -> KernelStats {
+    KernelStats {
+        xor_bytes: XOR_BYTES.swap(0, Ordering::Relaxed),
+        mul_bytes: MUL_BYTES.swap(0, Ordering::Relaxed),
+        calls: KERNEL_CALLS.swap(0, Ordering::Relaxed),
+    }
+}
+
 /// Log/exp tables: `EXP[i] = g^i` (doubled to avoid modular reduction in
 /// `mul`), `LOG[x] = log_g x` for x != 0.
 struct Tables {
@@ -153,6 +211,8 @@ pub fn pow(a: u8, e: u32) -> u8 {
 /// local repair).
 pub fn xor_acc(acc: &mut [u8], data: &[u8]) {
     debug_assert_eq!(acc.len(), data.len());
+    XOR_BYTES.fetch_add(data.len() as u64, Ordering::Relaxed);
+    KERNEL_CALLS.fetch_add(1, Ordering::Relaxed);
     let mut a = acc.chunks_exact_mut(8);
     let mut d = data.chunks_exact(8);
     for (aw, dw) in (&mut a).zip(&mut d) {
@@ -182,6 +242,8 @@ pub fn mul_acc(acc: &mut [u8], data: &[u8], c: u8) {
         xor_acc(acc, data);
         return;
     }
+    MUL_BYTES.fetch_add(data.len() as u64, Ordering::Relaxed);
+    KERNEL_CALLS.fetch_add(1, Ordering::Relaxed);
     let row = mul_row(c);
     // Sixteen table lookups per iteration, packed into two independent u64
     // lanes that are folded into the accumulator with one load/xor/store
@@ -421,5 +483,28 @@ mod tests {
     #[should_panic(expected = "no multiplicative inverse")]
     fn inv_zero_panics() {
         let _ = inv(0);
+    }
+
+    #[test]
+    fn kernel_stats_tally_bytes() {
+        // Other tests drive the kernels concurrently, so only delta-style
+        // assertions are race-safe: the counters are monotone between the
+        // two snapshots, and our own traffic is a lower bound.
+        let before = kernel_stats();
+        let data = [0x5Au8; 192];
+        let mut acc = [0u8; 192];
+        xor_acc(&mut acc, &data);
+        mul_acc(&mut acc, &data, 3);
+        mul_acc(&mut acc, &data, 1); // counts as XOR traffic
+        mul_acc(&mut acc, &data, 0); // no work, not counted
+        let after = kernel_stats();
+        assert!(after.xor_bytes >= before.xor_bytes + 384);
+        assert!(after.mul_bytes >= before.mul_bytes + 192);
+        assert!(after.calls >= before.calls + 3);
+        assert_eq!(after.total_bytes(), after.xor_bytes + after.mul_bytes);
+        // reset() hands back at least everything tallied so far.
+        let drained = reset_kernel_stats();
+        assert!(drained.xor_bytes >= after.xor_bytes);
+        assert!(drained.mul_bytes >= after.mul_bytes);
     }
 }

@@ -1,0 +1,157 @@
+//! Prometheus text exposition rendering.
+//!
+//! Plain `String` output of the [exposition format]: `# HELP` / `# TYPE`
+//! headers, one sample line per series, histograms as cumulative `le`
+//! buckets plus `_sum` and `_count`. No HTTP server — the CLI and the
+//! health surface print or serve the string however they like.
+//!
+//! [exposition format]:
+//!     https://prometheus.io/docs/instrumenting/exposition_formats/
+
+use std::fmt::{Display, Write as _};
+
+use crate::metrics::HistogramSnapshot;
+use crate::registry::{Metric, Registry};
+
+impl Registry {
+    /// Renders every registered metric in Prometheus text exposition
+    /// format, sorted by name.
+    #[must_use]
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, entry) in self.entries() {
+            if !entry.help.is_empty() {
+                let _ = writeln!(out, "# HELP {name} {}", escape_help(&entry.help));
+            }
+            match &entry.metric {
+                Metric::Counter(c) => {
+                    let _ = writeln!(out, "# TYPE {name} counter");
+                    let _ = writeln!(out, "{name} {}", c.get());
+                }
+                Metric::Gauge(g) => {
+                    let _ = writeln!(out, "# TYPE {name} gauge");
+                    let _ = writeln!(out, "{name} {}", g.get());
+                }
+                Metric::Histogram(h) => {
+                    let _ = writeln!(out, "# TYPE {name} histogram");
+                    render_histogram(&mut out, &name, &h.snapshot());
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Renders one histogram snapshot as cumulative `le`-labelled buckets.
+/// Only non-empty buckets are emitted (the log-bucketed histogram has
+/// hundreds of potential buckets; empty ones carry no information under
+/// cumulative semantics), followed by the mandatory `+Inf` bucket,
+/// `_sum` and `_count`.
+pub(crate) fn render_histogram(out: &mut String, name: &str, snap: &HistogramSnapshot) {
+    let mut cumulative = 0u64;
+    for (upper, count) in snap.nonzero_buckets() {
+        cumulative += count;
+        let _ = writeln!(out, "{name}_bucket{{le=\"{upper}\"}} {cumulative}");
+    }
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", snap.count);
+    let _ = writeln!(out, "{name}_sum {}", snap.sum);
+    let _ = writeln!(out, "{name}_count {}", snap.count);
+}
+
+/// Escapes help text per the exposition format (backslash and newline).
+fn escape_help(help: &str) -> String {
+    help.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Writes one labelled sample line, e.g.
+/// `device_reads_total{device="3"} 17`. Exporters with per-entity series
+/// (per-device I/O counters) render them through this helper rather than
+/// registering one metric per entity.
+pub fn sample_line(out: &mut String, name: &str, labels: &[(&str, &str)], value: impl Display) {
+    let _ = write!(out, "{name}");
+    if !labels.is_empty() {
+        let _ = write!(out, "{{");
+        for (i, (k, v)) in labels.iter().enumerate() {
+            if i > 0 {
+                let _ = write!(out, ",");
+            }
+            let _ = write!(out, "{k}=\"{}\"", escape_label(v));
+        }
+        let _ = write!(out, "}}");
+    }
+    let _ = writeln!(out, " {value}");
+}
+
+/// Writes `# HELP` / `# TYPE` headers for a manually rendered family.
+pub fn family_header(out: &mut String, name: &str, kind: &str, help: &str) {
+    if !help.is_empty() {
+        let _ = writeln!(out, "# HELP {name} {}", escape_help(help));
+    }
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+/// Escapes a label value per the exposition format.
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Histogram;
+
+    #[test]
+    fn renders_all_kinds() {
+        let r = Registry::new();
+        r.counter("reads_total", "Blocks read").add(3);
+        r.gauge("pending_blocks", "Awaiting migration").set(-2);
+        let h = r.histogram("read_latency_ns", "Read latency");
+        h.record(10);
+        h.record(100);
+        let text = r.render_prometheus();
+        assert!(text.contains("# HELP reads_total Blocks read"));
+        assert!(text.contains("# TYPE reads_total counter"));
+        assert!(text.contains("reads_total 3"));
+        assert!(text.contains("pending_blocks -2"));
+        assert!(text.contains("# TYPE read_latency_ns histogram"));
+        assert!(text.contains("read_latency_ns_bucket{le=\"10\"} 1"));
+        assert!(text.contains("read_latency_ns_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("read_latency_ns_sum 110"));
+        assert!(text.contains("read_latency_ns_count 2"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let h = Histogram::new();
+        for v in [1u64, 1, 5, 200] {
+            h.record(v);
+        }
+        let mut out = String::new();
+        render_histogram(&mut out, "h", &h.snapshot());
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "h_bucket{le=\"1\"} 2");
+        assert_eq!(lines[1], "h_bucket{le=\"5\"} 3");
+        assert!(lines[2].starts_with("h_bucket{le=\"2"));
+        assert!(lines[2].ends_with(" 4"));
+        assert_eq!(lines[3], "h_bucket{le=\"+Inf\"} 4");
+    }
+
+    #[test]
+    fn labelled_samples_and_escaping() {
+        let mut out = String::new();
+        family_header(
+            &mut out,
+            "device_reads_total",
+            "counter",
+            "Per-device reads",
+        );
+        sample_line(&mut out, "device_reads_total", &[("device", "3")], 17u64);
+        sample_line(&mut out, "x", &[], 1u64);
+        sample_line(&mut out, "y", &[("note", "a\"b\\c")], 2u64);
+        assert!(out.contains("device_reads_total{device=\"3\"} 17"));
+        assert!(out.contains("\nx 1\n"));
+        assert!(out.contains("y{note=\"a\\\"b\\\\c\"} 2"));
+    }
+}

@@ -1,0 +1,60 @@
+//! Observability for the placement system: lock-free metrics, operation
+//! timing and a text exposition surface.
+//!
+//! The paper's claims are quantitative — fairness (Lemma 3.1), competitive
+//! adaptivity (Lemma 3.2), degraded-mode recovery — and a *running*
+//! cluster can only demonstrate them through live series: per-device
+//! access load, cache hit rates, migration debt, degraded-read latency
+//! (cf. Aktaş & Soljanin, "Evaluating Load Balancing Performance in
+//! Distributed Storage with Redundancy"). This crate is the recording
+//! side of that story, built entirely on `std::sync::atomic` so it can
+//! sit on the zero-allocation read path:
+//!
+//! * [`Counter`] / [`Gauge`] — single relaxed atomics; an increment is one
+//!   `fetch_add`, safe from any thread through `&self`.
+//! * [`Histogram`] — HDR-style log-bucketed latency/size distribution:
+//!   power-of-two groups refined by linear sub-buckets (bounded ~3%
+//!   relative error), atomic bucket array, mergeable [`HistogramSnapshot`]
+//!   with percentile estimation.
+//! * [`Registry`] — names metrics, hands out shared handles
+//!   (get-or-register), renders everything in Prometheus text exposition
+//!   format ([`Registry::render_prometheus`]).
+//! * [`Recorder`] + [`SpanTimer`] — RAII timing: a span records its
+//!   elapsed nanoseconds into any recorder (histograms implement it) when
+//!   dropped.
+//!
+//! The crate deliberately has **no dependencies** (the build environment
+//! has no registry access) and no global state other than the optional
+//! [`global`] registry, which hot libraries use to publish series without
+//! threading a handle through every call site.
+//!
+//! # Example
+//!
+//! ```
+//! use rshare_obs::{Registry, SpanTimer};
+//!
+//! let registry = Registry::new();
+//! let reads = registry.counter("reads_total", "Blocks read");
+//! let latency = registry.histogram("read_latency_ns", "Read latency (ns)");
+//! {
+//!     let _span = SpanTimer::new(&*latency);
+//!     reads.inc();
+//! } // span drop records the elapsed time
+//! assert_eq!(reads.get(), 1);
+//! assert_eq!(latency.snapshot().count, 1);
+//! let text = registry.render_prometheus();
+//! assert!(text.contains("reads_total 1"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod export;
+mod metrics;
+mod recorder;
+mod registry;
+
+pub use export::{family_header, sample_line};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+pub use recorder::{Recorder, SpanTimer};
+pub use registry::{global, Metric, Registry};

@@ -1,0 +1,119 @@
+//! Recording abstractions: the [`Recorder`] sink trait and the RAII
+//! [`SpanTimer`] that feeds it.
+
+use std::time::Instant;
+
+use crate::metrics::{Counter, Histogram};
+
+/// Anything that can absorb a `u64` observation (a latency in
+/// nanoseconds, a byte count, …).
+///
+/// The instrumented layers speak to this trait, not to concrete metric
+/// types, so a call site can be pointed at a histogram, a plain counter
+/// (which accumulates the observations) or a test double.
+pub trait Recorder {
+    /// Absorbs one observation.
+    fn record(&self, value: u64);
+}
+
+impl Recorder for Histogram {
+    fn record(&self, value: u64) {
+        Histogram::record(self, value);
+    }
+}
+
+impl Recorder for Counter {
+    fn record(&self, value: u64) {
+        self.add(value);
+    }
+}
+
+impl<R: Recorder + ?Sized> Recorder for &R {
+    fn record(&self, value: u64) {
+        (**self).record(value);
+    }
+}
+
+/// An RAII span: measures the wall-clock time from construction to drop
+/// and records the elapsed nanoseconds into a [`Recorder`].
+///
+/// ```
+/// use rshare_obs::{Histogram, SpanTimer};
+///
+/// let latency = Histogram::new();
+/// {
+///     let _span = SpanTimer::new(&latency);
+///     // … timed work …
+/// }
+/// assert_eq!(latency.snapshot().count, 1);
+/// ```
+#[derive(Debug)]
+pub struct SpanTimer<R: Recorder> {
+    sink: R,
+    start: Instant,
+    armed: bool,
+}
+
+impl<R: Recorder> SpanTimer<R> {
+    /// Starts timing; the observation lands when the span drops.
+    #[must_use]
+    pub fn new(sink: R) -> Self {
+        Self {
+            sink,
+            start: Instant::now(),
+            armed: true,
+        }
+    }
+
+    /// Nanoseconds elapsed so far (saturating at `u64::MAX`).
+    #[must_use]
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Abandons the span without recording (e.g. on an error path that
+    /// should not pollute a success-latency series).
+    pub fn cancel(mut self) {
+        self.armed = false;
+    }
+}
+
+impl<R: Recorder> Drop for SpanTimer<R> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.sink.record(self.elapsed_ns());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_on_drop() {
+        let h = Histogram::new();
+        {
+            let span = SpanTimer::new(&h);
+            assert_eq!(h.snapshot().count, 0);
+            let _ = span.elapsed_ns();
+        }
+        assert_eq!(h.snapshot().count, 1);
+    }
+
+    #[test]
+    fn cancelled_span_records_nothing() {
+        let h = Histogram::new();
+        let span = SpanTimer::new(&h);
+        span.cancel();
+        assert_eq!(h.snapshot().count, 0);
+    }
+
+    #[test]
+    fn counter_recorder_accumulates() {
+        let c = Counter::new();
+        Recorder::record(&c, 10);
+        Recorder::record(&&c, 32);
+        assert_eq!(c.get(), 42);
+    }
+}

@@ -1,0 +1,194 @@
+//! The metric registry: names → shared metric handles.
+//!
+//! Registration (get-or-register by name) takes a mutex, but that is the
+//! *cold* path — callers register once at construction and keep the
+//! returned `Arc` handle. Every subsequent increment goes straight to the
+//! atomic, never through the registry.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::metrics::{Counter, Gauge, Histogram};
+
+/// A registered metric of any kind, with its help text.
+#[derive(Debug, Clone)]
+pub enum Metric {
+    /// A monotone counter.
+    Counter(Arc<Counter>),
+    /// A bidirectional gauge.
+    Gauge(Arc<Gauge>),
+    /// A log-bucketed histogram.
+    Histogram(Arc<Histogram>),
+}
+
+/// One named entry: the metric plus its help line.
+#[derive(Debug, Clone)]
+pub(crate) struct Entry {
+    pub(crate) metric: Metric,
+    pub(crate) help: String,
+}
+
+/// A named collection of metrics, renderable as Prometheus text.
+///
+/// Names follow Prometheus conventions (`[a-zA-Z_][a-zA-Z0-9_]*`,
+/// suffixes like `_total`, `_bytes`, `_ns`); the registry stores them
+/// sorted so exposition output is deterministic.
+#[derive(Debug, Default)]
+pub struct Registry {
+    entries: Mutex<BTreeMap<String, Entry>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the counter registered under `name`, creating it with
+    /// `help` on first use.
+    ///
+    /// # Panics
+    ///
+    /// If `name` is already registered as a different metric kind — two
+    /// subsystems disagreeing about a series' type is a programming
+    /// error worth failing loudly on.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        match self.get_or_insert(name, help, || Metric::Counter(Arc::new(Counter::new()))) {
+            Metric::Counter(c) => c,
+            other => panic!(
+                "metric '{name}' already registered as {}",
+                kind_name(&other)
+            ),
+        }
+    }
+
+    /// Returns the gauge registered under `name`, creating it with
+    /// `help` on first use.
+    ///
+    /// # Panics
+    ///
+    /// If `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        match self.get_or_insert(name, help, || Metric::Gauge(Arc::new(Gauge::new()))) {
+            Metric::Gauge(g) => g,
+            other => panic!(
+                "metric '{name}' already registered as {}",
+                kind_name(&other)
+            ),
+        }
+    }
+
+    /// Returns the histogram registered under `name`, creating it with
+    /// `help` on first use.
+    ///
+    /// # Panics
+    ///
+    /// If `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<Histogram> {
+        match self.get_or_insert(name, help, || Metric::Histogram(Arc::new(Histogram::new()))) {
+            Metric::Histogram(h) => h,
+            other => panic!(
+                "metric '{name}' already registered as {}",
+                kind_name(&other)
+            ),
+        }
+    }
+
+    fn get_or_insert(&self, name: &str, help: &str, make: impl FnOnce() -> Metric) -> Metric {
+        let mut entries = self.entries.lock().expect("registry mutex poisoned");
+        entries
+            .entry(name.to_string())
+            .or_insert_with(|| Entry {
+                metric: make(),
+                help: help.to_string(),
+            })
+            .metric
+            .clone()
+    }
+
+    /// Looks up a metric by name without registering anything.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<Metric> {
+        let entries = self.entries.lock().expect("registry mutex poisoned");
+        entries.get(name).map(|e| e.metric.clone())
+    }
+
+    /// The registered names, sorted.
+    #[must_use]
+    pub fn names(&self) -> Vec<String> {
+        let entries = self.entries.lock().expect("registry mutex poisoned");
+        entries.keys().cloned().collect()
+    }
+
+    /// A sorted copy of every entry (name, metric, help) — the exporter's
+    /// input, also usable for programmatic scraping.
+    pub(crate) fn entries(&self) -> Vec<(String, Entry)> {
+        let entries = self.entries.lock().expect("registry mutex poisoned");
+        entries
+            .iter()
+            .map(|(name, e)| (name.clone(), e.clone()))
+            .collect()
+    }
+}
+
+fn kind_name(m: &Metric) -> &'static str {
+    match m {
+        Metric::Counter(_) => "counter",
+        Metric::Gauge(_) => "gauge",
+        Metric::Histogram(_) => "histogram",
+    }
+}
+
+/// The process-wide default registry.
+///
+/// Hot libraries that cannot reasonably thread a registry handle through
+/// every call site (the GF(256) kernels, for instance) publish their
+/// series here; exporters merge it with their own registries.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_register_shares_one_handle() {
+        let r = Registry::new();
+        let a = r.counter("reads_total", "Blocks read");
+        let b = r.counter("reads_total", "ignored on re-register");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert_eq!(r.names(), vec!["reads_total".to_string()]);
+        assert!(matches!(r.get("reads_total"), Some(Metric::Counter(_))));
+        assert!(r.get("absent").is_none());
+    }
+
+    #[test]
+    fn kinds_are_distinct() {
+        let r = Registry::new();
+        r.gauge("pending", "Pending blocks").set(5);
+        r.histogram("lat", "Latency").record(10);
+        assert!(matches!(r.get("pending"), Some(Metric::Gauge(_))));
+        assert!(matches!(r.get("lat"), Some(Metric::Histogram(_))));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_conflict_panics() {
+        let r = Registry::new();
+        r.counter("x", "");
+        r.gauge("x", "");
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        let c = global().counter("obs_test_global_total", "test series");
+        let before = c.get();
+        global().counter("obs_test_global_total", "").inc();
+        assert_eq!(c.get(), before + 1);
+    }
+}

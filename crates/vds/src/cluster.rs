@@ -16,22 +16,29 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use rshare_core::{
     Bin, BinId, BinSet, FastRedundantShare, PlacementError, PlacementStrategy, RedundantShare,
     MAX_INLINE_K,
 };
 use rshare_erasure::ErasureCode;
+use rshare_obs::{family_header, sample_line, Registry, SpanTimer};
 
 use crate::cache::{CacheStats, InlinePlacement, PlacementCache, MAX_CACHED_SHARDS};
 use crate::device::{Device, DeviceState};
 use crate::error::VdsError;
+use crate::health::{ClusterMetrics, FairnessReport, HealthSnapshot};
 use crate::migration::{BlockOps, MigrationPlan, MigrationReport, ShardMove};
 use crate::profile::DeviceProfile;
 use crate::redundancy::Redundancy;
 
 /// Domain separator for the per-block read-copy rotation.
 const READ_BALANCE_DOMAIN: u64 = 0x5245_4144; // "READ"
+
+/// One successful read in this many is timed into the `read_latency_ns`
+/// histogram. The read *counters* stay exact; only latency is sampled.
+const LATENCY_SAMPLE: u64 = 64;
 
 /// Default for [`ClusterBuilder::fast_strategy_threshold`]: clusters with
 /// at least this many online devices route placement through the
@@ -166,6 +173,8 @@ pub struct ClusterBuilder {
     placement_cache: bool,
     fast_strategy_threshold: usize,
     migration_threads: usize,
+    metrics: bool,
+    metrics_registry: Option<Arc<Registry>>,
 }
 
 impl ClusterBuilder {
@@ -209,6 +218,25 @@ impl ClusterBuilder {
     #[must_use]
     pub fn migration_threads(mut self, threads: usize) -> Self {
         self.migration_threads = threads;
+        self
+    }
+
+    /// Enables or disables metrics recording (default enabled). Disabled,
+    /// the hot paths skip every metric touch — the configuration the
+    /// observability benchmark uses as its baseline.
+    #[must_use]
+    pub fn metrics(mut self, enabled: bool) -> Self {
+        self.metrics = enabled;
+        self
+    }
+
+    /// Publishes the cluster's series into a caller-owned registry
+    /// (implies [`ClusterBuilder::metrics`]`(true)`) instead of a private
+    /// one — e.g. to merge several clusters into one scrape surface.
+    #[must_use]
+    pub fn metrics_registry(mut self, registry: Arc<Registry>) -> Self {
+        self.metrics = true;
+        self.metrics_registry = Some(registry);
         self
     }
 
@@ -263,6 +291,12 @@ impl ClusterBuilder {
                 });
             }
         }
+        let metrics = self.metrics.then(|| {
+            ClusterMetrics::new(
+                self.metrics_registry
+                    .unwrap_or_else(|| Arc::new(Registry::new())),
+            )
+        });
         let mut cluster = StorageCluster {
             devices,
             redundancy: self.redundancy,
@@ -277,6 +311,7 @@ impl ClusterBuilder {
             placements_computed: AtomicU64::new(0),
             fast_threshold: self.fast_strategy_threshold,
             migration_threads: self.migration_threads,
+            metrics,
         };
         cluster.strategy = Some(cluster.build_strategy()?);
         Ok(cluster)
@@ -310,6 +345,9 @@ pub struct StorageCluster {
     fast_threshold: usize,
     /// Worker-thread cap for batched migration (0 = all cores).
     migration_threads: usize,
+    /// Metric handles, when recording is enabled. `None` means every hot
+    /// path skips instrumentation entirely.
+    metrics: Option<ClusterMetrics>,
 }
 
 /// Counters produced by one gather/apply migration execution.
@@ -353,6 +391,8 @@ impl StorageCluster {
             placement_cache: true,
             fast_strategy_threshold: FAST_PLACEMENT_MIN_DEVICES,
             migration_threads: 0,
+            metrics: true,
+            metrics_registry: None,
         }
     }
 
@@ -387,6 +427,9 @@ impl StorageCluster {
     }
 
     fn strategy(&self) -> &ClusterStrategy {
+        // Invariant: `build()` installs a strategy before the cluster is
+        // handed out, and every membership change replaces it atomically
+        // (`Option::replace`), so the slot is never observably empty.
         self.strategy.as_ref().expect("strategy always present")
     }
 
@@ -559,6 +602,9 @@ impl StorageCluster {
             }
         }
         self.blocks.insert(lba);
+        if let Some(m) = &self.metrics {
+            m.writes_total.inc();
+        }
         Ok(())
     }
 
@@ -572,8 +618,39 @@ impl StorageCluster {
     ///
     /// * [`VdsError::BlockNotFound`] if the block was never written.
     /// * [`VdsError::DataLoss`] if too many shards are gone.
-    #[allow(clippy::needless_range_loop)] // shard index is also the copy identity
     pub fn read_block(&self, lba: u64) -> Result<Vec<u8>, VdsError> {
+        let Some(m) = &self.metrics else {
+            return self.read_block_inner(lba).map(|(data, _)| data);
+        };
+        // Counters are exact; the latency histogram samples one read in
+        // [`LATENCY_SAMPLE`] — timing every read would spend two
+        // monotonic-clock reads on a cached path that otherwise costs a
+        // few atomic increments. The span records when it drops at the
+        // end of the success path; failed reads cancel it.
+        let span = (m.reads_total.get() % LATENCY_SAMPLE == 0)
+            .then(|| SpanTimer::new(&*m.read_latency_ns));
+        match self.read_block_inner(lba) {
+            Ok((data, degraded)) => {
+                m.reads_total.inc();
+                if degraded {
+                    m.degraded_reads_total.inc();
+                }
+                Ok(data)
+            }
+            Err(e) => {
+                if let Some(span) = span {
+                    span.cancel();
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// The uninstrumented read path. The boolean is `true` when the read
+    /// was *degraded*: served from a non-preferred mirror copy or via
+    /// erasure reconstruction.
+    #[allow(clippy::needless_range_loop)] // shard index is also the copy identity
+    fn read_block_inner(&self, lba: u64) -> Result<(Vec<u8>, bool), VdsError> {
         if !self.blocks.contains(&lba) {
             return Err(VdsError::BlockNotFound { lba });
         }
@@ -595,13 +672,18 @@ impl StorageCluster {
                         .get(&placement[i])
                         .and_then(|d| d.load(&(lba, i)))
                     {
-                        return Ok(data);
+                        return Ok((data, step > 0));
                     }
                 }
                 Err(VdsError::DataLoss { lba })
             }
             _ => {
-                let codec = self.codec.as_deref().expect("erasure codec");
+                // `build()` creates a codec for every erasure scheme; a
+                // missing one here is a bug, surfaced as a typed error
+                // rather than a panic on the public read path.
+                let codec = self.codec.as_deref().ok_or(VdsError::Internal {
+                    reason: "erasure redundancy configured without a codec",
+                })?;
                 let d = codec.data_shards();
                 // Fast path: all data shards present.
                 let mut shards: Vec<Option<Vec<u8>>> = (0..d)
@@ -616,7 +698,7 @@ impl StorageCluster {
                     for shard in shards.into_iter().flatten() {
                         block.extend_from_slice(&shard);
                     }
-                    return Ok(block);
+                    return Ok((block, false));
                 }
                 // Degraded read: pull parity shards and reconstruct.
                 for i in d..k {
@@ -628,6 +710,7 @@ impl StorageCluster {
                 }
                 self.redundancy
                     .decode_block(shards, self.codec.as_deref(), lba)
+                    .map(|data| (data, true))
             }
         }
     }
@@ -805,6 +888,8 @@ impl StorageCluster {
                 self.reconstruct_group(&mut shards, lba)?;
             }
             for (i, slot) in shards.iter_mut().enumerate() {
+                // `reconstruct_group` either fills every `None` slot or
+                // errors out above; a hole here is unreachable.
                 let shard = slot.take().expect("complete after reconstruction");
                 let (old_dev, new_dev) = (old_placement[i], new_placement[i]);
                 if old_dev != new_dev {
@@ -826,6 +911,11 @@ impl StorageCluster {
             if p.remaining.is_empty() {
                 self.pending = None;
             }
+        }
+        if let Some(m) = &self.metrics {
+            m.migration_moves_executed_total.add(report.shards_moved);
+            m.shards_reconstructed_total
+                .add(report.shards_reconstructed);
         }
         Ok(report)
     }
@@ -1029,6 +1119,8 @@ impl StorageCluster {
             ..BlockOps::default()
         };
         for (i, slot) in shards.iter_mut().enumerate() {
+            // `reconstruct_group` either fills every `None` slot or errors
+            // out above; a hole here is unreachable.
             let shard = slot.take().expect("complete after reconstruction");
             let (old_dev, new_dev) = (old[i], new[i]);
             if old_dev != new_dev {
@@ -1168,6 +1260,10 @@ impl StorageCluster {
                 result?;
             }
         }
+        if let Some(m) = &self.metrics {
+            m.migration_moves_executed_total.add(outcome.moved);
+            m.shards_reconstructed_total.add(outcome.reconstructed);
+        }
         Ok(outcome)
     }
 
@@ -1195,6 +1291,8 @@ impl StorageCluster {
         let new_strategy =
             ClusterStrategy::build(&set, self.redundancy.total_shards(), self.fast_threshold)?;
         let report = self.replace_strategy(new_strategy)?;
+        // Presence was checked at entry and `&mut self` rules out any
+        // interleaving removal, so the entry is still there.
         let drained = self.devices.remove(&id).expect("checked above");
         debug_assert_eq!(
             drained.used_blocks(),
@@ -1302,8 +1400,12 @@ impl StorageCluster {
             // Pipelined through the migration executor with old == new:
             // each degraded stripe is gathered and decoded exactly once
             // and the stores land only in the missing slots.
+            let blocks_repaired = work.len() as u64;
             let outcome = self.execute_block_ops(chunk, &work, &flat, &flat)?;
             repaired += outcome.stored;
+            if let Some(m) = &self.metrics {
+                m.repair_blocks_total.add(blocks_repaired);
+            }
         }
         Ok(repaired)
     }
@@ -1372,9 +1474,10 @@ impl StorageCluster {
     ///
     /// Same validation as [`StorageCluster::remove_device`].
     pub fn plan_remove_device(&self, id: u64) -> Result<MigrationPlan, VdsError> {
-        if !self.devices.contains_key(&id) {
-            return Err(VdsError::UnknownDevice { id });
-        }
+        let leaving = self
+            .devices
+            .get(&id)
+            .ok_or(VdsError::UnknownDevice { id })?;
         let bins: Vec<Bin> = self
             .devices
             .values()
@@ -1383,7 +1486,7 @@ impl StorageCluster {
             .collect::<Result<Vec<_>, _>>()?;
         // Fair minimum (Lemma 3.2): the shards resident on the leaving
         // device must move, whatever the strategy.
-        let fair_min = self.devices[&id].used_blocks() as f64;
+        let fair_min = leaving.used_blocks() as f64;
         self.plan_against(&BinSet::new(bins)?, fair_min)
     }
 
@@ -1462,6 +1565,9 @@ impl StorageCluster {
         }
         plan.moves
             .sort_unstable_by_key(|m| (m.from, m.to, m.lba, m.copy));
+        if let Some(m) = &self.metrics {
+            m.migration_moves_planned_total.add(plan.moves.len() as u64);
+        }
         Ok(plan)
     }
 
@@ -1487,6 +1593,226 @@ impl StorageCluster {
             .values()
             .map(|d| (d.id(), d.used_blocks(), d.capacity_blocks()))
             .collect()
+    }
+
+    /// Live fairness report over the online devices: every device's share
+    /// of the stored shards against its capacity-proportional fair share
+    /// `b_i / B` — the paper's Lemma 3.1, measured instead of proved.
+    #[must_use]
+    pub fn fairness_report(&self) -> FairnessReport {
+        let rows: Vec<(u64, u64, u64)> = self
+            .devices
+            .values()
+            .filter(|d| d.state() == DeviceState::Online)
+            .map(|d| (d.id(), d.used_blocks(), d.capacity_blocks()))
+            .collect();
+        FairnessReport::compute(&rows)
+    }
+
+    /// Number of blocks currently missing at least one shard from its
+    /// computed location. Scans every block through the bulk placement
+    /// API (the per-block cache is bypassed, so scrape-time accounting
+    /// does not distort the cache hit/miss series).
+    #[must_use]
+    pub fn degraded_block_count(&self) -> u64 {
+        let k = self.redundancy.total_shards();
+        let lbas: Vec<u64> = self.blocks.iter().copied().collect();
+        let mut flat: Vec<u64> = Vec::new();
+        let mut degraded = 0u64;
+        for chunk in lbas.chunks(MIGRATION_CHUNK_BLOCKS) {
+            self.effective_flat(chunk, &mut flat);
+            for (j, &lba) in chunk.iter().enumerate() {
+                let missing = flat[j * k..(j + 1) * k]
+                    .iter()
+                    .enumerate()
+                    .any(|(i, id)| !self.devices.get(id).is_some_and(|d| d.has(&(lba, i))));
+                if missing {
+                    degraded += 1;
+                }
+            }
+        }
+        degraded
+    }
+
+    /// A point-in-time health summary: device counts, migration debt,
+    /// degraded blocks and the fairness report. When metrics are enabled
+    /// the corresponding gauges (`pending_blocks`, `degraded_blocks`,
+    /// `devices_online`, `devices_failed`) are refreshed as a side effect,
+    /// so scraping after a snapshot always sees current values.
+    #[must_use]
+    pub fn health_snapshot(&self) -> HealthSnapshot {
+        let devices_online = self
+            .devices
+            .values()
+            .filter(|d| d.state() == DeviceState::Online)
+            .count();
+        let snap = HealthSnapshot {
+            devices_online,
+            devices_failed: self.devices.len() - devices_online,
+            blocks: self.block_count(),
+            pending_blocks: self.pending_blocks(),
+            degraded_blocks: self.degraded_block_count(),
+            fairness: self.fairness_report(),
+        };
+        if let Some(m) = &self.metrics {
+            m.pending_blocks.set(snap.pending_blocks as i64);
+            m.degraded_blocks.set(snap.degraded_blocks as i64);
+            m.devices_online.set(snap.devices_online as i64);
+            m.devices_failed.set(snap.devices_failed as i64);
+        }
+        snap
+    }
+
+    /// The registry the cluster's series live in, when metrics are
+    /// enabled — programmatic access to every counter and histogram by
+    /// name.
+    #[must_use]
+    pub fn metrics_registry(&self) -> Option<Arc<Registry>> {
+        self.metrics.as_ref().map(|m| Arc::clone(&m.registry))
+    }
+
+    /// Renders the cluster's full observability surface in Prometheus
+    /// text exposition format: the registered series (when metrics are
+    /// enabled), scrape-time cluster families (fairness, cache, placement
+    /// counters), one labelled series per device for the I/O statistics,
+    /// and the process-wide GF(256) kernel tallies.
+    #[must_use]
+    pub fn export_prometheus(&self) -> String {
+        let snap = self.health_snapshot(); // refreshes the health gauges
+        let mut out = match &self.metrics {
+            Some(m) => m.registry.render_prometheus(),
+            None => String::new(),
+        };
+        family_header(&mut out, "cluster_blocks", "gauge", "Logical blocks stored");
+        sample_line(&mut out, "cluster_blocks", &[], snap.blocks);
+        family_header(
+            &mut out,
+            "fairness_max_deviation",
+            "gauge",
+            "Largest relative deviation of any online device's data share from its fair share b_i/B",
+        );
+        sample_line(
+            &mut out,
+            "fairness_max_deviation",
+            &[],
+            format!("{:.6}", snap.fairness.max_deviation),
+        );
+        let cs = self.cache_stats();
+        family_header(
+            &mut out,
+            "placement_cache_hits_total",
+            "counter",
+            "Placement lookups served from the cache",
+        );
+        sample_line(&mut out, "placement_cache_hits_total", &[], cs.hits);
+        family_header(
+            &mut out,
+            "placement_cache_misses_total",
+            "counter",
+            "Placement lookups that recomputed the placement",
+        );
+        sample_line(&mut out, "placement_cache_misses_total", &[], cs.misses);
+        family_header(
+            &mut out,
+            "placement_cache_entries",
+            "gauge",
+            "Live placement cache entries",
+        );
+        sample_line(&mut out, "placement_cache_entries", &[], cs.entries);
+        family_header(
+            &mut out,
+            "placements_computed_total",
+            "counter",
+            "Placements computed by a strategy (cache hits excluded)",
+        );
+        sample_line(
+            &mut out,
+            "placements_computed_total",
+            &[],
+            self.placements_computed(),
+        );
+        self.render_device_families(&mut out);
+        let ks = rshare_erasure::gf256::kernel_stats();
+        family_header(
+            &mut out,
+            "gf_xor_bytes_total",
+            "counter",
+            "Bytes XOR-accumulated by the GF(256) bulk kernels (process-wide)",
+        );
+        sample_line(&mut out, "gf_xor_bytes_total", &[], ks.xor_bytes);
+        family_header(
+            &mut out,
+            "gf_mul_bytes_total",
+            "counter",
+            "Bytes run through the GF(256) table-multiply kernel (process-wide)",
+        );
+        sample_line(&mut out, "gf_mul_bytes_total", &[], ks.mul_bytes);
+        family_header(
+            &mut out,
+            "gf_kernel_calls_total",
+            "counter",
+            "GF(256) bulk kernel invocations (process-wide)",
+        );
+        sample_line(&mut out, "gf_kernel_calls_total", &[], ks.calls);
+        out
+    }
+
+    /// Renders the per-device series (`device="<id>"`-labelled), one
+    /// family at a time in exposition order.
+    fn render_device_families(&self, out: &mut String) {
+        /// `(name, kind, help, per-device value)` of one exported family.
+        type DeviceFamily = (&'static str, &'static str, &'static str, fn(&Device) -> u64);
+        let families: [DeviceFamily; 8] = [
+            ("device_reads_total", "counter", "Shard reads served", |d| {
+                d.stats().reads
+            }),
+            (
+                "device_writes_total",
+                "counter",
+                "Shard writes absorbed",
+                |d| d.stats().writes,
+            ),
+            ("device_bytes_read_total", "counter", "Bytes read", |d| {
+                d.stats().bytes_read
+            }),
+            (
+                "device_bytes_written_total",
+                "counter",
+                "Bytes written",
+                |d| d.stats().bytes_written,
+            ),
+            (
+                "device_busy_us_total",
+                "counter",
+                "Simulated busy time in microseconds",
+                |d| d.stats().busy_us,
+            ),
+            (
+                "device_used_blocks",
+                "gauge",
+                "Shards currently resident",
+                |d| d.used_blocks(),
+            ),
+            (
+                "device_capacity_blocks",
+                "gauge",
+                "Capacity in shard blocks",
+                |d| d.capacity_blocks(),
+            ),
+            (
+                "device_online",
+                "gauge",
+                "1 when the device serves I/O, 0 when failed",
+                |d| u64::from(d.state() == DeviceState::Online),
+            ),
+        ];
+        for (name, kind, help, value) in families {
+            family_header(out, name, kind, help);
+            for dev in self.devices.values() {
+                let id = dev.id().to_string();
+                sample_line(out, name, &[("device", id.as_str())], value(dev));
+            }
+        }
     }
 
     /// Swaps in a new placement strategy and migrates every shard whose
@@ -1551,7 +1877,12 @@ impl StorageCluster {
                 Ok(())
             }
             _ => {
-                let codec = self.codec.as_deref().expect("erasure codec");
+                // Same constructor invariant as the read path: every
+                // erasure scheme carries a codec; repair and migration
+                // surface the impossible case as a typed error.
+                let codec = self.codec.as_deref().ok_or(VdsError::Internal {
+                    reason: "erasure redundancy configured without a codec",
+                })?;
                 codec.reconstruct(shards).map_err(|e| match e {
                     rshare_erasure::ErasureError::TooManyErasures { .. } => {
                         VdsError::DataLoss { lba }
@@ -2339,5 +2670,220 @@ mod tests {
             covered += moves.len();
         }
         assert_eq!(covered, plan.moves.len());
+    }
+
+    #[test]
+    fn metrics_count_reads_writes_and_latency() {
+        let mut c = mirror_cluster();
+        for lba in 0..50u64 {
+            c.write_block(lba, &block(lba as u8, 64)).unwrap();
+        }
+        for lba in 0..50u64 {
+            c.read_block(lba).unwrap();
+        }
+        assert!(c.read_block(10_000).is_err()); // failed reads record nothing
+        let reg = c.metrics_registry().expect("metrics on by default");
+        assert_eq!(reg.counter("writes_total", "").get(), 50);
+        assert_eq!(reg.counter("reads_total", "").get(), 50);
+        assert_eq!(reg.counter("degraded_reads_total", "").get(), 0);
+        // Latency is sampled one read in `LATENCY_SAMPLE`: 50 reads
+        // sample exactly once (at reads_total == 0).
+        let lat = reg.histogram("read_latency_ns", "").snapshot();
+        assert_eq!(lat.count, 1, "latency histogram samples 1/{LATENCY_SAMPLE}");
+        assert!(lat.sum > 0);
+    }
+
+    #[test]
+    fn degraded_reads_are_counted_exactly() {
+        let mut c = mirror_cluster();
+        for lba in 0..100u64 {
+            c.write_block(lba, &block(lba as u8, 64)).unwrap();
+        }
+        c.fail_device(2).unwrap();
+        for lba in 0..100u64 {
+            c.read_block(lba).unwrap();
+        }
+        let reg = c.metrics_registry().unwrap();
+        // Exactly the blocks whose preferred copy lived on device 2 fell
+        // back to another copy.
+        let expected: u64 = (0..100u64)
+            .filter(|&lba| {
+                let placement = c.placement(lba);
+                let preferred = (rshare_hash::stable_hash2(lba, READ_BALANCE_DOMAIN)
+                    % placement.len() as u64) as usize;
+                placement[preferred] == 2
+            })
+            .count() as u64;
+        assert!(expected > 0, "some preferred copies must be on device 2");
+        assert_eq!(reg.counter("degraded_reads_total", "").get(), expected);
+        assert_eq!(reg.counter("reads_total", "").get(), 100);
+    }
+
+    #[test]
+    fn health_snapshot_reports_debts_and_refreshes_gauges() {
+        let mut c = mirror_cluster();
+        for lba in 0..200u64 {
+            c.write_block(lba, &block(lba as u8, 64)).unwrap();
+        }
+        let healthy = c.health_snapshot();
+        assert_eq!(healthy.devices_online, 4);
+        assert_eq!(healthy.devices_failed, 0);
+        assert_eq!(healthy.blocks, 200);
+        assert_eq!(healthy.pending_blocks, 0);
+        assert_eq!(healthy.degraded_blocks, 0);
+        assert_eq!(healthy.fairness.total_used, 400);
+        assert!(healthy.fairness.max_deviation < 0.5);
+        c.fail_device(3).unwrap();
+        c.add_device_lazy(9, 10_000).unwrap();
+        let ailing = c.health_snapshot();
+        assert_eq!(ailing.devices_online, 4); // 0, 1, 2 and the new 9
+        assert_eq!(ailing.devices_failed, 1);
+        assert_eq!(ailing.pending_blocks, 200);
+        assert!(ailing.degraded_blocks > 0, "failed device degrades blocks");
+        let reg = c.metrics_registry().unwrap();
+        assert_eq!(reg.gauge("pending_blocks", "").get(), 200);
+        assert_eq!(
+            reg.gauge("degraded_blocks", "").get(),
+            ailing.degraded_blocks as i64
+        );
+        assert_eq!(reg.gauge("devices_failed", "").get(), 1);
+    }
+
+    #[test]
+    fn fairness_report_tracks_capacity_shares() {
+        let mut c = StorageCluster::builder()
+            .block_size(64)
+            .redundancy(Redundancy::Mirror { copies: 2 })
+            .device(0, 4_000)
+            .device(1, 8_000)
+            .device(2, 12_000)
+            .device(3, 16_000)
+            .build()
+            .unwrap();
+        for lba in 0..4_000u64 {
+            c.write_block(lba, &block(lba as u8, 64)).unwrap();
+        }
+        let report = c.fairness_report();
+        assert_eq!(report.total_used, 8_000);
+        assert_eq!(report.total_capacity, 40_000);
+        assert_eq!(report.devices.len(), 4);
+        // Redundant Share keeps every device within a modest deviation of
+        // its fair share even at this small scale.
+        assert!(
+            report.max_deviation < 0.15,
+            "max deviation {}",
+            report.max_deviation
+        );
+        for d in &report.devices {
+            assert!((d.share - d.fair_share * (1.0 + d.deviation)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn migration_metrics_follow_the_reports() {
+        let mut c = mirror_cluster();
+        for lba in 0..1_000u64 {
+            c.write_block(lba, &block(lba as u8, 64)).unwrap();
+        }
+        let reg = c.metrics_registry().unwrap();
+        let plan = c.plan_add_device(9, 10_000).unwrap();
+        assert_eq!(
+            reg.counter("migration_moves_planned_total", "").get(),
+            plan.moves.len() as u64
+        );
+        let report = c.add_device(9, 10_000).unwrap();
+        assert_eq!(
+            reg.counter("migration_moves_executed_total", "").get(),
+            report.shards_moved
+        );
+        // In-place repair after injected shard loss.
+        let mut injected = 0u64;
+        for lba in (0..1_000u64).step_by(97) {
+            if c.inject_shard_loss(lba, 0) {
+                injected += 1;
+            }
+        }
+        assert!(injected > 0);
+        c.repair().unwrap();
+        assert_eq!(reg.counter("repair_blocks_total", "").get(), injected);
+    }
+
+    #[test]
+    fn metrics_can_be_disabled_and_export_still_works() {
+        let mut c = StorageCluster::builder()
+            .block_size(64)
+            .redundancy(Redundancy::Mirror { copies: 2 })
+            .device(0, 10_000)
+            .device(1, 10_000)
+            .metrics(false)
+            .build()
+            .unwrap();
+        assert!(c.metrics_registry().is_none());
+        c.write_block(0, &block(1, 64)).unwrap();
+        assert_eq!(c.read_block(0).unwrap(), block(1, 64));
+        let text = c.export_prometheus();
+        // No registry series (the per-device `device_reads_total` family
+        // is computed, not registered), but computed families render.
+        assert!(!text.contains("# TYPE reads_total "));
+        assert!(text.contains("cluster_blocks 1"));
+        assert!(text.contains("fairness_max_deviation"));
+        assert!(text.contains("device_used_blocks{device=\"0\"}"));
+    }
+
+    #[test]
+    fn export_prometheus_renders_all_surfaces() {
+        let mut c = mirror_cluster();
+        for lba in 0..100u64 {
+            c.write_block(lba, &block(lba as u8, 64)).unwrap();
+        }
+        for lba in 0..100u64 {
+            c.read_block(lba).unwrap();
+        }
+        let text = c.export_prometheus();
+        for family in [
+            "# TYPE reads_total counter",
+            "reads_total 100",
+            "writes_total 100",
+            "# TYPE read_latency_ns histogram",
+            // 100 reads sample the latency histogram at 0 and 64.
+            "read_latency_ns_count 2",
+            "# TYPE pending_blocks gauge",
+            "devices_online 4",
+            "cluster_blocks 100",
+            "fairness_max_deviation",
+            "placement_cache_hits_total",
+            "placements_computed_total",
+            "device_reads_total{device=\"0\"}",
+            "device_capacity_blocks{device=\"3\"} 10000",
+            "device_online{device=\"1\"} 1",
+            "gf_xor_bytes_total",
+            "gf_mul_bytes_total",
+        ] {
+            assert!(text.contains(family), "missing {family} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn shared_registry_merges_two_clusters() {
+        let registry = Arc::new(Registry::new());
+        let mut a = StorageCluster::builder()
+            .block_size(64)
+            .redundancy(Redundancy::Mirror { copies: 2 })
+            .device(0, 1_000)
+            .device(1, 1_000)
+            .metrics_registry(Arc::clone(&registry))
+            .build()
+            .unwrap();
+        let mut b = StorageCluster::builder()
+            .block_size(64)
+            .redundancy(Redundancy::Mirror { copies: 2 })
+            .device(0, 1_000)
+            .device(1, 1_000)
+            .metrics_registry(Arc::clone(&registry))
+            .build()
+            .unwrap();
+        a.write_block(0, &block(1, 64)).unwrap();
+        b.write_block(0, &block(2, 64)).unwrap();
+        assert_eq!(registry.counter("writes_total", "").get(), 2);
     }
 }

@@ -54,6 +54,7 @@ mod cache;
 mod cluster;
 mod device;
 mod error;
+mod health;
 mod migration;
 mod profile;
 mod redundancy;
@@ -64,6 +65,7 @@ pub use cache::{CacheStats, MAX_CACHED_SHARDS};
 pub use cluster::{ClusterBuilder, StorageCluster};
 pub use device::{Device, DeviceState, IoStats};
 pub use error::VdsError;
+pub use health::{DeviceLoad, FairnessReport, HealthSnapshot};
 pub use migration::{MigrationPlan, MigrationReport, ShardMove};
 pub use profile::DeviceProfile;
 pub use redundancy::Redundancy;

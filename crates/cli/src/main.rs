@@ -45,6 +45,7 @@ fn run(argv: Vec<String>) -> Result<(), ArgError> {
         "durability" => cmd_durability(&args),
         "simulate" => cmd_simulate(&args),
         "metrics" => cmd_metrics(&args),
+        "kernels" => cmd_kernels(&args),
         other => Err(ArgError(format!("unknown subcommand '{other}'"))),
     }
 }
@@ -73,6 +74,9 @@ fn print_help() {
          metrics   --capacities LIST [--blocks N] [--fail ID]\n\
          \x20         load a mirrored cluster, optionally fail a device, and print\n\
          \x20         the health summary plus the Prometheus metrics exposition\n\
+         kernels   [--shard-kib N]\n\
+         \x20         report the GF(256) kernel dispatch (SIMD detection, active\n\
+         \x20         tier, RSHARE_GF256_KERNEL override) and per-tier encode rates\n\
          durability --capacities LIST --k K --tolerated T [--mtbf H] [--rebuild H]\n\
          \x20         Monte-Carlo 5-year data-loss probability\n\
          \n\
@@ -431,6 +435,64 @@ fn cmd_metrics(args: &Args) -> Result<(), ArgError> {
     Ok(())
 }
 
+fn cmd_kernels(args: &Args) -> Result<(), ArgError> {
+    use rshare_erasure::gf256::{self, KernelTier};
+    use rshare_erasure::{ErasureCode, ReedSolomon};
+    use std::time::Instant;
+
+    let shard_kib = args.u64_or("shard-kib", 64)?;
+    if shard_kib == 0 || shard_kib > 16_384 {
+        return Err(ArgError("--shard-kib must be in 1..=16384".into()));
+    }
+    let shard_len = (shard_kib as usize) * 1024;
+
+    let simd_level = match gf256::simd::level() {
+        Some(l) => format!("{l:?}"),
+        None => "unavailable".to_string(),
+    };
+    let override_var = std::env::var("RSHARE_GF256_KERNEL").ok();
+    println!("GF(256) bulk-kernel dispatch");
+    println!("  simd support : {simd_level}");
+    println!(
+        "  env override : {}",
+        override_var.as_deref().unwrap_or("(unset)")
+    );
+    println!("  active tier  : {}", gf256::kernel_tier().name());
+
+    // Per-tier RS(4, 2) encode rate on `--shard-kib` shards. Tiers are
+    // bit-identical; only the throughput differs.
+    let rs = ReedSolomon::new(4, 2).map_err(|e| ArgError(e.to_string()))?;
+    let mut shards: Vec<Vec<u8>> = (0..6)
+        .map(|i| (0..shard_len).map(|j| (i * 89 + j * 7) as u8).collect())
+        .collect();
+    let prior = gf256::kernel_tier();
+    println!("  rs(4,2) encode, {shard_kib} KiB shards:");
+    for tier in [KernelTier::Simd, KernelTier::Swar, KernelTier::Table] {
+        let installed = gf256::set_kernel_tier(tier);
+        let start = Instant::now();
+        let reps = 8;
+        for _ in 0..reps {
+            rs.encode(&mut shards)
+                .map_err(|e| ArgError(e.to_string()))?;
+        }
+        let secs = start.elapsed().as_secs_f64();
+        let mb = (reps * 4 * shard_len) as f64 / 1e6;
+        let note = if installed == tier {
+            String::new()
+        } else {
+            format!("  (unavailable; ran {})", installed.name())
+        };
+        println!("    {:>5}  {:>9.1} MB/s{}", tier.name(), mb / secs, note);
+    }
+    gf256::set_kernel_tier(prior);
+    let stats = gf256::kernel_stats();
+    println!(
+        "  kernel stats : {} calls, {} simd bytes, {} swar bytes, {} xor bytes",
+        stats.calls, stats.simd_bytes, stats.swar_bytes, stats.xor_bytes
+    );
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -575,6 +637,12 @@ mod tests {
             "9"
         ])
         .is_err());
+    }
+
+    #[test]
+    fn kernels_command() {
+        run_tokens(&["kernels", "--shard-kib", "4"]).unwrap();
+        assert!(run_tokens(&["kernels", "--shard-kib", "0"]).is_err());
     }
 
     #[test]

@@ -48,6 +48,39 @@ pub trait ErasureCode: Send + Sync {
     /// or [`ErasureError::BadShardLength`] on malformed input.
     fn encode(&self, shards: &mut [Vec<u8>]) -> Result<(), ErasureError>;
 
+    /// Computes the parity shards from *borrowed* data shards into
+    /// caller-provided parity buffers (cleared and resized in place, so a
+    /// batch encoder reuses their allocations).
+    ///
+    /// Bit-identical to [`ErasureCode::encode`] on the assembled codeword,
+    /// but the data shards never have to be materialized as owned vectors
+    /// — the zero-copy half of the fused stripe write pipeline. Every
+    /// in-tree code overrides the defaulted body (which round-trips
+    /// through a scratch codeword) with a direct computation.
+    ///
+    /// # Errors
+    ///
+    /// [`ErasureError::WrongShardCount`] if `data` or `parity` has the
+    /// wrong arity, plus the shard-shape errors of
+    /// [`ErasureCode::encode`].
+    fn encode_parity(&self, data: &[&[u8]], parity: &mut [Vec<u8>]) -> Result<(), ErasureError> {
+        if parity.len() != self.parity_shards() {
+            return Err(ErasureError::WrongShardCount {
+                expected: self.parity_shards(),
+                got: parity.len(),
+            });
+        }
+        let len = data.first().map_or(0, |d| d.len());
+        let mut shards: Vec<Vec<u8>> = Vec::with_capacity(self.total_shards());
+        shards.extend(data.iter().map(|d| d.to_vec()));
+        shards.extend(std::iter::repeat_with(|| vec![0u8; len]).take(self.parity_shards()));
+        self.encode(&mut shards)?;
+        for (out, computed) in parity.iter_mut().zip(shards.split_off(self.data_shards())) {
+            *out = computed;
+        }
+        Ok(())
+    }
+
     /// Recomputes every missing (`None`) shard in place.
     ///
     /// # Errors
@@ -56,6 +89,40 @@ pub trait ErasureCode: Send + Sync {
     /// [`ErasureError::TooManyErasures`] when more shards are missing than
     /// [`ErasureCode::tolerated_erasures`].
     fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), ErasureError>;
+}
+
+/// Validates the borrowed data shards and parity buffer count for
+/// [`ErasureCode::encode_parity`], returning the shard length. Parity
+/// buffer *lengths* are not checked: `encode_parity` resizes them.
+pub(crate) fn check_parity_inputs(
+    data: &[&[u8]],
+    parity_count: usize,
+    expected_data: usize,
+    expected_parity: usize,
+    multiple: usize,
+) -> Result<usize, ErasureError> {
+    if data.len() != expected_data {
+        return Err(ErasureError::WrongShardCount {
+            expected: expected_data,
+            got: data.len(),
+        });
+    }
+    if parity_count != expected_parity {
+        return Err(ErasureError::WrongShardCount {
+            expected: expected_parity,
+            got: parity_count,
+        });
+    }
+    let len = data.first().map_or(0, |d| d.len());
+    if data.iter().any(|s| s.len() != len) {
+        return Err(ErasureError::ShardLengthMismatch);
+    }
+    if len == 0 || !len.is_multiple_of(multiple) {
+        return Err(ErasureError::BadShardLength {
+            multiple_of: multiple,
+        });
+    }
+    Ok(len)
 }
 
 /// Validates shard counts and equal lengths, returning the shard length.

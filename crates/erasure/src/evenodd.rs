@@ -12,7 +12,7 @@
 //! Shards are columns; a shard of `L` bytes is treated as `p − 1` symbols
 //! of `L / (p − 1)` bytes.
 
-use crate::code::{check_optional_shards, check_shards, ErasureCode};
+use crate::code::{check_optional_shards, check_parity_inputs, check_shards, ErasureCode};
 use crate::error::ErasureError;
 
 /// Returns `true` if `n` is prime (trial division; parameters are tiny).
@@ -105,6 +105,27 @@ impl EvenOdd {
             xor_into(out, &shards[j][Self::sym(row, sz)]);
         }
     }
+
+    /// Computes both parity columns from the data columns into zeroed
+    /// `rowpar`/`diagpar` buffers (the shared body of `encode` and
+    /// `encode_parity`).
+    fn parity_into(&self, data: &[&[u8]], rowpar: &mut [u8], diagpar: &mut [u8], sz: usize) {
+        let p = self.p;
+        // Row parity.
+        for col in data {
+            xor_into(rowpar, col);
+        }
+        // Adjuster S = XOR of the diagonal through the imaginary row
+        // (diagonal p - 1).
+        let mut s = vec![0u8; sz];
+        self.diag_xor(data, 0..p, p - 1, sz, &mut s);
+        // Diagonal parity: cell d = S ⊕ (XOR of diagonal d).
+        for d in 0..p - 1 {
+            let mut cell = s.clone();
+            self.diag_xor(data, 0..p, d, sz, &mut cell);
+            diagpar[Self::sym(d, sz)].copy_from_slice(&cell);
+        }
+    }
 }
 
 impl ErasureCode for EvenOdd {
@@ -123,27 +144,24 @@ impl ErasureCode for EvenOdd {
     fn encode(&self, shards: &mut [Vec<u8>]) -> Result<(), ErasureError> {
         let len = check_shards(shards, self.p + 2, self.rows())?;
         let sz = len / self.rows();
-        let p = self.p;
-        let (data, parity) = shards.split_at_mut(p);
+        let (data, parity) = shards.split_at_mut(self.p);
         let data_refs: Vec<&[u8]> = data.iter().map(Vec::as_slice).collect();
-        // Row parity.
-        let rowpar = &mut parity[0];
-        rowpar.iter_mut().for_each(|b| *b = 0);
-        for col in &data_refs {
-            xor_into(rowpar, col);
+        let (rowpar, diagpar) = parity.split_at_mut(1);
+        rowpar[0].iter_mut().for_each(|b| *b = 0);
+        diagpar[0].iter_mut().for_each(|b| *b = 0);
+        self.parity_into(&data_refs, &mut rowpar[0], &mut diagpar[0], sz);
+        Ok(())
+    }
+
+    fn encode_parity(&self, data: &[&[u8]], parity: &mut [Vec<u8>]) -> Result<(), ErasureError> {
+        let len = check_parity_inputs(data, parity.len(), self.p, 2, self.rows())?;
+        let sz = len / self.rows();
+        for out in parity.iter_mut() {
+            out.clear();
+            out.resize(len, 0);
         }
-        // Adjuster S = XOR of the diagonal through the imaginary row
-        // (diagonal p - 1).
-        let mut s = vec![0u8; sz];
-        self.diag_xor(&data_refs, 0..p, p - 1, sz, &mut s);
-        // Diagonal parity: cell d = S ⊕ (XOR of diagonal d).
-        let diagpar = &mut parity[1];
-        diagpar.iter_mut().for_each(|b| *b = 0);
-        for d in 0..p - 1 {
-            let mut cell = s.clone();
-            self.diag_xor(&data_refs, 0..p, d, sz, &mut cell);
-            diagpar[Self::sym(d, sz)].copy_from_slice(&cell);
-        }
+        let (rowpar, diagpar) = parity.split_at_mut(1);
+        self.parity_into(data, &mut rowpar[0], &mut diagpar[0], sz);
         Ok(())
     }
 

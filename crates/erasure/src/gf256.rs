@@ -1,24 +1,53 @@
 //! Arithmetic in GF(2⁸) with the Rijndael-compatible polynomial `0x11d`.
 //!
 //! Addition is XOR; scalar multiplication uses log/exp tables built once at
-//! first use. The bulk kernels ([`mul_acc`], [`xor_acc`]) that form the
-//! inner loops of every erasure code in this crate instead use a flat
-//! 256×256 product table — one branch-free, bounds-check-free lookup per
-//! byte — and an 8-bytes-per-iteration XOR fast path for coefficient 1.
-//! The byte-at-a-time log/exp kernel survives as
-//! [`mul_acc_bytewise`], the reference the property tests and the
-//! `bench_e2e` report pin the table kernels against.
+//! first use. The bulk kernels ([`mul_acc`], [`xor_acc`], [`mul_acc_many`])
+//! that form the inner loops of every erasure code in this crate dispatch
+//! through a three-tier engine selected once at startup:
+//!
+//! 1. **SIMD** ([`KernelTier::Simd`], [`simd`]) — x86-64 split-nibble
+//!    `pshufb` kernels (AVX2 when available, SSSE3 otherwise): two 16-entry
+//!    product tables per coefficient, 16/32 product bytes per shuffle pair.
+//! 2. **SWAR** ([`KernelTier::Swar`]) — portable `u64` lane arithmetic:
+//!    eight bytes are multiplied at once by carry-less shift-and-reduce
+//!    over the bits of the coefficient. The tier for non-x86 targets and
+//!    detection misses.
+//! 3. **Table** ([`KernelTier::Table`]) — a flat 256×256 product table,
+//!    one branch-free, bounds-check-free lookup per byte. The
+//!    always-correct fallback every other tier is property-tested against.
+//!
+//! All tiers are bit-identical (GF(256) multiplication is exact — the
+//! property tests pin this across tiers, offsets and lengths). The active
+//! tier comes from runtime CPU detection, overridable with the
+//! `RSHARE_GF256_KERNEL` environment variable (`simd`, `avx2`, `ssse3`,
+//! `swar`, `table`, `auto`) or [`set_kernel_tier`] — the knob CI uses to
+//! keep the fallback tiers covered. The byte-at-a-time log/exp kernel
+//! survives as [`mul_acc_bytewise`], the reference the property tests and
+//! the `bench_e2e` report pin every production kernel against.
 
 /// The irreducible polynomial x⁸ + x⁴ + x³ + x² + 1.
 const POLY: u16 = 0x11d;
 
-use std::sync::atomic::{AtomicU64, Ordering};
+// The SIMD tier is the one corner of the workspace that needs `unsafe`
+// (std::arch intrinsics + #[target_feature]); the allowance is scoped to
+// this module, every unsafe operation must sit in an explicitly justified
+// `unsafe {}` block (`unsafe_op_in_unsafe_fn`), and the crate root keeps
+// `deny(unsafe_code)` for everything else.
+#[allow(unsafe_code)]
+#[deny(unsafe_op_in_unsafe_fn)]
+pub mod simd;
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 
 /// Bytes processed by the word-at-a-time XOR kernel ([`xor_acc`],
 /// including the coefficient-1 fast path of [`mul_acc`]).
 static XOR_BYTES: AtomicU64 = AtomicU64::new(0);
-/// Bytes processed by the table-driven multiply kernel (`c >= 2`).
+/// Bytes processed by the multiply kernels (`c >= 2`), whatever the tier.
 static MUL_BYTES: AtomicU64 = AtomicU64::new(0);
+/// Multiply bytes handled by the SIMD tier (subset of [`MUL_BYTES`]).
+static SIMD_BYTES: AtomicU64 = AtomicU64::new(0);
+/// Multiply bytes handled by the SWAR tier (subset of [`MUL_BYTES`]).
+static SWAR_BYTES: AtomicU64 = AtomicU64::new(0);
 /// Bulk-kernel invocations that did work (zero-coefficient calls return
 /// before touching data and are not counted).
 static KERNEL_CALLS: AtomicU64 = AtomicU64::new(0);
@@ -27,17 +56,21 @@ static KERNEL_CALLS: AtomicU64 = AtomicU64::new(0);
 /// relaxed atomics — one `fetch_add` per kernel *call* (not per byte), so
 /// the cost is amortised over an entire shard.
 ///
-/// Only the production table kernels count; the reference
-/// [`mul_acc_bytewise`] is left untouched so overhead comparisons against
-/// it stay honest. Exporters poll [`kernel_stats`] and publish the fields
-/// as monotone counters (e.g. `gf_mul_bytes_total`).
+/// Only the production kernels count; the reference [`mul_acc_bytewise`]
+/// is left untouched so overhead comparisons against it stay honest.
+/// Exporters poll [`kernel_stats`] and publish the fields as monotone
+/// counters (e.g. `gf_mul_bytes_total`).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct KernelStats {
     /// Bytes XOR-accumulated (parity/EVENODD/RDP traffic plus every
     /// coefficient-1 Reed–Solomon row).
     pub xor_bytes: u64,
-    /// Bytes run through the flat-table multiply (coefficients ≥ 2).
+    /// Bytes run through a multiply kernel (coefficients ≥ 2), all tiers.
     pub mul_bytes: u64,
+    /// Multiply bytes handled by the SIMD tier (subset of `mul_bytes`).
+    pub simd_bytes: u64,
+    /// Multiply bytes handled by the SWAR tier (subset of `mul_bytes`).
+    pub swar_bytes: u64,
     /// Kernel invocations that processed data.
     pub calls: u64,
 }
@@ -56,6 +89,8 @@ pub fn kernel_stats() -> KernelStats {
     KernelStats {
         xor_bytes: XOR_BYTES.load(Ordering::Relaxed),
         mul_bytes: MUL_BYTES.load(Ordering::Relaxed),
+        simd_bytes: SIMD_BYTES.load(Ordering::Relaxed),
+        swar_bytes: SWAR_BYTES.load(Ordering::Relaxed),
         calls: KERNEL_CALLS.load(Ordering::Relaxed),
     }
 }
@@ -66,8 +101,120 @@ pub fn reset_kernel_stats() -> KernelStats {
     KernelStats {
         xor_bytes: XOR_BYTES.swap(0, Ordering::Relaxed),
         mul_bytes: MUL_BYTES.swap(0, Ordering::Relaxed),
+        simd_bytes: SIMD_BYTES.swap(0, Ordering::Relaxed),
+        swar_bytes: SWAR_BYTES.swap(0, Ordering::Relaxed),
         calls: KERNEL_CALLS.swap(0, Ordering::Relaxed),
     }
+}
+
+/// One tier of the bulk-kernel engine, fastest first. See the module docs
+/// for what each tier does; [`kernel_tier`] reports the active one and
+/// [`set_kernel_tier`] overrides it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelTier {
+    /// x86-64 `pshufb` split-nibble kernels (AVX2 or SSSE3).
+    Simd,
+    /// Portable `u64` SWAR lanes.
+    Swar,
+    /// Flat 256×256 product table, byte at a time.
+    Table,
+}
+
+impl KernelTier {
+    /// The tier's lowercase name (`"simd"`, `"swar"`, `"table"`).
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Self::Simd => "simd",
+            Self::Swar => "swar",
+            Self::Table => "table",
+        }
+    }
+}
+
+/// Active-tier cell: `TIER_UNSET` until first use, then the
+/// discriminant of the running [`KernelTier`].
+static ACTIVE_TIER: AtomicU8 = AtomicU8::new(TIER_UNSET);
+const TIER_UNSET: u8 = 0xFF;
+const TIER_SIMD: u8 = 0;
+const TIER_SWAR: u8 = 1;
+const TIER_TABLE: u8 = 2;
+
+const fn tier_code(tier: KernelTier) -> u8 {
+    match tier {
+        KernelTier::Simd => TIER_SIMD,
+        KernelTier::Swar => TIER_SWAR,
+        KernelTier::Table => TIER_TABLE,
+    }
+}
+
+/// The best tier the hardware supports: SIMD when the CPU has the needed
+/// features, the portable SWAR lanes otherwise.
+fn best_tier() -> KernelTier {
+    if simd::available() {
+        KernelTier::Simd
+    } else {
+        KernelTier::Swar
+    }
+}
+
+/// First-use initialisation: the `RSHARE_GF256_KERNEL` environment
+/// variable, downgraded to the best available tier when it asks for
+/// hardware the machine lacks; plain CPU detection otherwise.
+fn init_tier() -> KernelTier {
+    let requested = std::env::var("RSHARE_GF256_KERNEL").ok();
+    match requested.as_deref() {
+        Some("table") => KernelTier::Table,
+        Some("swar") => KernelTier::Swar,
+        Some("avx2") => {
+            if simd::force_level(simd::Level::Avx2) {
+                KernelTier::Simd
+            } else {
+                best_tier()
+            }
+        }
+        Some("ssse3") => {
+            if simd::force_level(simd::Level::Ssse3) {
+                KernelTier::Simd
+            } else {
+                best_tier()
+            }
+        }
+        // "simd", "auto", unset and unrecognised values all detect.
+        _ => best_tier(),
+    }
+}
+
+/// The tier the bulk kernels currently dispatch through.
+#[must_use]
+pub fn kernel_tier() -> KernelTier {
+    match ACTIVE_TIER.load(Ordering::Relaxed) {
+        TIER_SIMD => KernelTier::Simd,
+        TIER_SWAR => KernelTier::Swar,
+        TIER_TABLE => KernelTier::Table,
+        _ => {
+            let tier = init_tier();
+            // A concurrent first call may race this store; both sides
+            // compute the same value, so last-write-wins is harmless.
+            ACTIVE_TIER.store(tier_code(tier), Ordering::Relaxed);
+            tier
+        }
+    }
+}
+
+/// Overrides the dispatch tier, returning the tier actually installed:
+/// asking for [`KernelTier::Simd`] on hardware without SSSE3 installs (and
+/// returns) [`KernelTier::Swar`] instead. A testing/benchmark knob — the
+/// equivalence property tests run every tier through it, and `bench_e2e`
+/// brackets per-tier measurements with it. Process-global; all tiers are
+/// bit-identical, so flipping it mid-flight changes speed, never results.
+pub fn set_kernel_tier(tier: KernelTier) -> KernelTier {
+    let installed = match tier {
+        KernelTier::Simd if !simd::available() => KernelTier::Swar,
+        other => other,
+    };
+    ACTIVE_TIER.store(tier_code(installed), Ordering::Relaxed);
+    installed
 }
 
 /// Log/exp tables: `EXP[i] = g^i` (doubled to avoid modular reduction in
@@ -201,18 +348,47 @@ pub fn pow(a: u8, e: u32) -> u8 {
     t.exp[((log * e) % 255) as usize]
 }
 
-/// XOR-accumulates `data` into `acc` (`acc[i] ^= data[i]`), 8 bytes per
-/// iteration.
+/// XOR-accumulates `data` into `acc` (`acc[i] ^= data[i]`).
 ///
-/// The aligned body reads both slices as native-endian `u64` words, so one
-/// load/xor/store round replaces eight byte rounds; the sub-word tail runs
-/// byte-wise. This is the coefficient-1 fast path of [`mul_acc`] and the
-/// shared kernel behind the XOR-only codes (parity, EVENODD, RDP, LRC
-/// local repair).
+/// The lengths are asserted equal once up front; the body then runs
+/// word-at-a-time with no per-chunk checks. This is the coefficient-1
+/// fast path of [`mul_acc`] and the shared kernel behind the XOR-only
+/// codes (parity, EVENODD, RDP, LRC local repair). The SIMD tier widens
+/// the word to 32 bytes (AVX2); every other tier uses native `u64` words.
+///
+/// # Panics
+///
+/// Panics if `acc.len() != data.len()`.
 pub fn xor_acc(acc: &mut [u8], data: &[u8]) {
-    debug_assert_eq!(acc.len(), data.len());
+    assert_eq!(acc.len(), data.len(), "xor_acc slices must match");
     XOR_BYTES.fetch_add(data.len() as u64, Ordering::Relaxed);
     KERNEL_CALLS.fetch_add(1, Ordering::Relaxed);
+    match kernel_tier() {
+        KernelTier::Simd => simd::xor_acc(acc, data),
+        KernelTier::Swar | KernelTier::Table => xor_acc_words(acc, data),
+    }
+}
+
+/// Like [`xor_acc`], but through an explicit tier — the side-effect-free
+/// dispatch the equivalence tests and per-tier benchmarks use (the global
+/// tier is left untouched). [`KernelTier::Simd`] on hardware without
+/// SSSE3 silently runs the SWAR body instead.
+///
+/// # Panics
+///
+/// Panics if `acc.len() != data.len()`.
+pub fn xor_acc_with(tier: KernelTier, acc: &mut [u8], data: &[u8]) {
+    assert_eq!(acc.len(), data.len(), "xor_acc slices must match");
+    match tier {
+        KernelTier::Simd if simd::available() => simd::xor_acc(acc, data),
+        _ => xor_acc_words(acc, data),
+    }
+}
+
+/// The portable XOR body: native-endian `u64` words, byte-wise tail. One
+/// load/xor/store round replaces eight byte rounds.
+#[inline(always)]
+fn xor_acc_words(acc: &mut [u8], data: &[u8]) {
     let mut a = acc.chunks_exact_mut(8);
     let mut d = data.chunks_exact(8);
     for (aw, dw) in (&mut a).zip(&mut d) {
@@ -229,28 +405,122 @@ pub fn xor_acc(acc: &mut [u8], data: &[u8]) {
 /// into `acc` (`acc[i] ^= c · data[i]`). The inner loop of Reed–Solomon
 /// encoding and decoding.
 ///
-/// `c == 1` takes the word-at-a-time [`xor_acc`] path; other coefficients
-/// stream through the coefficient's flat [`mul_row`] — one table byte per
-/// data byte, no branch and no bounds check — sixteen bytes per iteration
-/// so consecutive lookups pipeline.
+/// `c == 0` is a no-op and `c == 1` takes the [`xor_acc`] path; other
+/// coefficients go through the active [`KernelTier`]. The lengths are
+/// asserted equal once up front so the tier bodies run without per-chunk
+/// checks.
+///
+/// # Panics
+///
+/// Panics if `acc.len() != data.len()`.
 pub fn mul_acc(acc: &mut [u8], data: &[u8], c: u8) {
-    debug_assert_eq!(acc.len(), data.len());
+    assert_eq!(acc.len(), data.len(), "mul_acc slices must match");
     if c == 0 {
         return;
     }
     if c == 1 {
-        xor_acc(acc, data);
+        XOR_BYTES.fetch_add(data.len() as u64, Ordering::Relaxed);
+        KERNEL_CALLS.fetch_add(1, Ordering::Relaxed);
+        match kernel_tier() {
+            KernelTier::Simd => simd::xor_acc(acc, data),
+            KernelTier::Swar | KernelTier::Table => xor_acc_words(acc, data),
+        }
         return;
     }
     MUL_BYTES.fetch_add(data.len() as u64, Ordering::Relaxed);
     KERNEL_CALLS.fetch_add(1, Ordering::Relaxed);
+    match kernel_tier() {
+        KernelTier::Simd => {
+            SIMD_BYTES.fetch_add(data.len() as u64, Ordering::Relaxed);
+            simd::mul_acc(acc, data, c);
+        }
+        KernelTier::Swar => {
+            SWAR_BYTES.fetch_add(data.len() as u64, Ordering::Relaxed);
+            mul_acc_swar(acc, data, c);
+        }
+        KernelTier::Table => mul_acc_table(acc, data, c),
+    }
+}
+
+/// Like [`mul_acc`], but through an explicit tier — the side-effect-free
+/// dispatch the equivalence tests and per-tier benchmarks use (the global
+/// tier is left untouched, and the tier counters are not tallied).
+/// [`KernelTier::Simd`] on hardware without SSSE3 silently runs the SWAR
+/// body instead.
+///
+/// # Panics
+///
+/// Panics if `acc.len() != data.len()`.
+pub fn mul_acc_with(tier: KernelTier, acc: &mut [u8], data: &[u8], c: u8) {
+    assert_eq!(acc.len(), data.len(), "mul_acc slices must match");
+    if c == 0 {
+        return;
+    }
+    if c == 1 {
+        xor_acc_with(tier, acc, data);
+        return;
+    }
+    match tier {
+        KernelTier::Simd if simd::available() => simd::mul_acc(acc, data, c),
+        KernelTier::Simd | KernelTier::Swar => mul_acc_swar(acc, data, c),
+        KernelTier::Table => mul_acc_table(acc, data, c),
+    }
+}
+
+/// The SWAR multiply body: eight bytes per iteration as one `u64` of
+/// independent lanes, shift-and-reduce over the bits of `c` (at most
+/// eight doubling rounds, no per-byte table traffic). The sub-word tail
+/// reuses the coefficient's product row.
+#[inline(always)]
+fn mul_acc_swar(acc: &mut [u8], data: &[u8], c: u8) {
+    let mut a = acc.chunks_exact_mut(8);
+    let mut d = data.chunks_exact(8);
+    for (aw, dw) in (&mut a).zip(&mut d) {
+        let x = u64::from_ne_bytes(aw.try_into().expect("8-byte chunk"))
+            ^ mul_word_swar(u64::from_ne_bytes(dw.try_into().expect("8-byte chunk")), c);
+        aw.copy_from_slice(&x.to_ne_bytes());
+    }
     let row = mul_row(c);
-    // Sixteen table lookups per iteration, packed into two independent u64
-    // lanes that are folded into the accumulator with one load/xor/store
-    // each — instead of sixteen byte-wide read-modify-writes. The two lanes
-    // have no data dependency, so their lookups pipeline; the u8 -> usize
-    // indexes into a [u8; 256] row need no bounds checks, so the loop body
-    // is branch-free.
+    for (aw, &dw) in a.into_remainder().iter_mut().zip(d.remainder()) {
+        *aw ^= row[dw as usize];
+    }
+}
+
+/// Multiplies all eight byte lanes of `x` by `c`: Russian-peasant
+/// multiplication where the per-lane doubling is carried out on the whole
+/// word — the lane top bits are masked off before the shift and folded
+/// back as the reduction polynomial `0x1d`, so lanes never interact.
+#[inline(always)]
+fn mul_word_swar(mut x: u64, c: u8) -> u64 {
+    const TOP: u64 = 0x8080_8080_8080_8080;
+    const LOW: u64 = 0xFEFE_FEFE_FEFE_FEFE;
+    let mut product = 0u64;
+    let mut c = c;
+    loop {
+        if c & 1 != 0 {
+            product ^= x;
+        }
+        c >>= 1;
+        if c == 0 {
+            return product;
+        }
+        let carries = x & TOP;
+        // `carries >> 7` leaves a 0/1 bit at each lane's bottom; the
+        // multiply broadcasts it to `0x1d` without crossing lanes.
+        x = ((x << 1) & LOW) ^ ((carries >> 7) * 0x1d);
+    }
+}
+
+/// The table multiply body: sixteen product-row lookups per iteration,
+/// packed into two independent u64 lanes that are folded into the
+/// accumulator with one load/xor/store each — instead of sixteen
+/// byte-wide read-modify-writes. The two lanes have no data dependency,
+/// so their lookups pipeline; the `u8 -> usize` indexes into a
+/// `[u8; 256]` row need no bounds checks, so the loop body is
+/// branch-free.
+#[inline(always)]
+fn mul_acc_table(acc: &mut [u8], data: &[u8], c: u8) {
+    let row = mul_row(c);
     let mut a = acc.chunks_exact_mut(16);
     let mut d = data.chunks_exact(16);
     for (aw, dw) in (&mut a).zip(&mut d) {
@@ -293,10 +563,48 @@ const ACC_TILE: usize = 8 * 1024;
 /// sources are applied to one 8 KiB output tile (`ACC_TILE`) before moving
 /// to the next, so the read-modify-write target stays in L1 instead of
 /// being streamed through once per source — the access pattern an erasure
-/// encode wants for shards larger than the cache.
+/// encode wants for shards larger than the cache. Each tile pass runs
+/// through the active [`KernelTier`].
 ///
-/// Equivalent to calling [`mul_acc`] once per source over the full length.
+/// Equivalent to calling [`mul_acc`] once per source over the full length,
+/// except the kernel statistics are tallied once for the whole bulk
+/// operation — one [`KernelStats::calls`] entry per live (non-zero)
+/// coefficient, byte totals summed up front — instead of once per
+/// tile × source, keeping atomic traffic off the encode inner loop.
 pub fn mul_acc_many<S: AsRef<[u8]>>(out: &mut [u8], sources: &[S], coeffs: &[u8]) {
+    debug_assert_eq!(sources.len(), coeffs.len());
+    if out.is_empty() {
+        return;
+    }
+    let tier = kernel_tier();
+    let len = out.len() as u64;
+    let xors = coeffs.iter().filter(|&&c| c == 1).count() as u64;
+    let muls = coeffs.iter().filter(|&&c| c > 1).count() as u64;
+    if xors > 0 {
+        XOR_BYTES.fetch_add(xors * len, Ordering::Relaxed);
+    }
+    if muls > 0 {
+        MUL_BYTES.fetch_add(muls * len, Ordering::Relaxed);
+        match tier {
+            KernelTier::Simd => SIMD_BYTES.fetch_add(muls * len, Ordering::Relaxed),
+            KernelTier::Swar => SWAR_BYTES.fetch_add(muls * len, Ordering::Relaxed),
+            KernelTier::Table => 0,
+        };
+    }
+    if xors + muls > 0 {
+        KERNEL_CALLS.fetch_add(xors + muls, Ordering::Relaxed);
+    }
+    mul_acc_many_with(tier, out, sources, coeffs);
+}
+
+/// Like [`mul_acc_many`], but every tile pass goes through an explicit
+/// tier (see [`mul_acc_with`]).
+pub fn mul_acc_many_with<S: AsRef<[u8]>>(
+    tier: KernelTier,
+    out: &mut [u8],
+    sources: &[S],
+    coeffs: &[u8],
+) {
     debug_assert_eq!(sources.len(), coeffs.len());
     let len = out.len();
     let mut start = 0;
@@ -305,16 +613,16 @@ pub fn mul_acc_many<S: AsRef<[u8]>>(out: &mut [u8], sources: &[S], coeffs: &[u8]
         for (src, &c) in sources.iter().zip(coeffs) {
             let s = src.as_ref();
             debug_assert_eq!(s.len(), len);
-            mul_acc(&mut out[start..end], &s[start..end], c);
+            mul_acc_with(tier, &mut out[start..end], &s[start..end], c);
         }
         start = end;
     }
 }
 
 /// The pre-table byte-at-a-time `mul_acc`: log/exp lookups with a per-byte
-/// zero test. Kept as the reference kernel — the property tests pin
-/// [`mul_acc`] against it bit for bit, and `bench_e2e` reports the
-/// table-kernel speedup over it.
+/// zero test. Kept as the reference kernel — the property tests pin every
+/// tier of [`mul_acc`] against it bit for bit, and `bench_e2e` reports the
+/// tiered-kernel speedups over it.
 pub fn mul_acc_bytewise(acc: &mut [u8], data: &[u8], c: u8) {
     debug_assert_eq!(acc.len(), data.len());
     if c == 0 {
@@ -425,30 +733,53 @@ mod tests {
     }
 
     #[test]
-    fn mul_acc_matches_bytewise_all_lengths() {
-        // Odd lengths exercise both the unrolled body and the tail.
-        for len in [0usize, 1, 3, 7, 8, 9, 31, 64, 100] {
+    fn all_tiers_match_bytewise_all_lengths() {
+        // Odd lengths exercise both the wide bodies and the tails.
+        let tiers = [KernelTier::Simd, KernelTier::Swar, KernelTier::Table];
+        for len in [0usize, 1, 3, 7, 8, 9, 15, 16, 17, 31, 32, 33, 64, 100] {
             let data: Vec<u8> = (0..len).map(|i| (i * 37 + 11) as u8).collect();
             for c in [0u8, 1, 2, 3, 0x1d, 0x8e, 0xff] {
-                let mut fast = vec![0x5Au8; len];
-                let mut slow = fast.clone();
-                mul_acc(&mut fast, &data, c);
+                let mut slow = vec![0x5Au8; len];
                 mul_acc_bytewise(&mut slow, &data, c);
-                assert_eq!(fast, slow, "c = {c} len = {len}");
+                for tier in tiers {
+                    let mut fast = vec![0x5Au8; len];
+                    mul_acc_with(tier, &mut fast, &data, c);
+                    assert_eq!(fast, slow, "tier = {tier:?} c = {c} len = {len}");
+                }
+                // The global dispatch agrees with whatever tier is active.
+                let mut fast = vec![0x5Au8; len];
+                mul_acc(&mut fast, &data, c);
+                assert_eq!(fast, slow, "active tier c = {c} len = {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn swar_word_multiply_matches_scalar() {
+        for c in [2u8, 3, 0x1d, 0x80, 0xff] {
+            let bytes: [u8; 8] = [0, 1, 2, 0x7f, 0x80, 0x9a, 0xfe, 0xff];
+            let got = mul_word_swar(u64::from_ne_bytes(bytes), c).to_ne_bytes();
+            for (g, &b) in got.iter().zip(&bytes) {
+                assert_eq!(*g, mul(c, b), "c = {c} b = {b}");
             }
         }
     }
 
     #[test]
     fn xor_acc_matches_bytewise() {
-        for len in [0usize, 1, 7, 8, 9, 16, 23, 64] {
+        for len in [0usize, 1, 7, 8, 9, 16, 23, 31, 32, 33, 64] {
             let data: Vec<u8> = (0..len).map(|i| (i * 101 + 3) as u8).collect();
-            let mut fast = vec![0xA5u8; len];
-            let mut slow = fast.clone();
-            xor_acc(&mut fast, &data);
+            let mut slow = vec![0xA5u8; len];
             for (a, d) in slow.iter_mut().zip(&data) {
                 *a ^= d;
             }
+            for tier in [KernelTier::Simd, KernelTier::Swar, KernelTier::Table] {
+                let mut fast = vec![0xA5u8; len];
+                xor_acc_with(tier, &mut fast, &data);
+                assert_eq!(fast, slow, "tier = {tier:?} len = {len}");
+            }
+            let mut fast = vec![0xA5u8; len];
+            xor_acc(&mut fast, &data);
             assert_eq!(fast, slow, "len = {len}");
         }
     }
@@ -469,20 +800,54 @@ mod tests {
                 .map(|s| (0..len).map(|i| (i * 31 + s as usize * 7) as u8).collect())
                 .collect();
             let coeffs = [0u8, 1, 0x1d, 0x8e];
-            let mut tiled = vec![0u8; len];
-            mul_acc_many(&mut tiled, &sources, &coeffs);
             let mut flat = vec![0u8; len];
             for (s, &c) in sources.iter().zip(&coeffs) {
                 mul_acc(&mut flat, s, c);
             }
+            let mut tiled = vec![0u8; len];
+            mul_acc_many(&mut tiled, &sources, &coeffs);
             assert_eq!(tiled, flat, "len = {len}");
+            for tier in [KernelTier::Simd, KernelTier::Swar, KernelTier::Table] {
+                let mut tiered = vec![0u8; len];
+                mul_acc_many_with(tier, &mut tiered, &sources, &coeffs);
+                assert_eq!(tiered, flat, "tier = {tier:?} len = {len}");
+            }
         }
+    }
+
+    #[test]
+    fn tier_override_round_trips() {
+        let before = kernel_tier();
+        // Table and SWAR are always installable verbatim.
+        assert_eq!(set_kernel_tier(KernelTier::Table), KernelTier::Table);
+        assert_eq!(kernel_tier(), KernelTier::Table);
+        assert_eq!(set_kernel_tier(KernelTier::Swar), KernelTier::Swar);
+        // SIMD downgrades to SWAR when the hardware lacks it.
+        let installed = set_kernel_tier(KernelTier::Simd);
+        if simd::available() {
+            assert_eq!(installed, KernelTier::Simd);
+        } else {
+            assert_eq!(installed, KernelTier::Swar);
+        }
+        assert_eq!(kernel_tier(), installed);
+        assert_eq!(
+            installed.name(),
+            if simd::available() { "simd" } else { "swar" }
+        );
+        set_kernel_tier(before);
     }
 
     #[test]
     #[should_panic(expected = "no multiplicative inverse")]
     fn inv_zero_panics() {
         let _ = inv(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mul_acc slices must match")]
+    fn mul_acc_length_mismatch_panics() {
+        let mut acc = [0u8; 4];
+        mul_acc(&mut acc, &[0u8; 5], 3);
     }
 
     #[test]
@@ -502,6 +867,8 @@ mod tests {
         assert!(after.mul_bytes >= before.mul_bytes + 192);
         assert!(after.calls >= before.calls + 3);
         assert_eq!(after.total_bytes(), after.xor_bytes + after.mul_bytes);
+        // Tier sub-tallies never exceed the total multiply traffic.
+        assert!(after.simd_bytes + after.swar_bytes <= after.mul_bytes);
         // reset() hands back at least everything tallied so far.
         let drained = reset_kernel_stats();
         assert!(drained.xor_bytes >= after.xor_bytes);

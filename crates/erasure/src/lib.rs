@@ -32,7 +32,11 @@
 //! assert_eq!(damaged[0].as_deref(), Some([1u8; 8].as_slice()));
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the SIMD tier of the GF(256) kernels
+// (`gf256::simd`) is the single sanctioned exception — `std::arch`
+// intrinsics require `unsafe` — and it opts in with a narrowly scoped
+// `#[allow(unsafe_code)]` plus `deny(unsafe_op_in_unsafe_fn)`.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod code;

@@ -20,7 +20,7 @@
 //!   failures. LRCs matter here because rebuild traffic is exactly what
 //!   the paper's adaptivity experiments measure on the placement side.
 
-use crate::code::{check_shards, ErasureCode};
+use crate::code::{check_parity_inputs, check_shards, ErasureCode};
 use crate::error::ErasureError;
 use crate::gf256;
 use crate::matrix::Matrix;
@@ -234,6 +234,16 @@ impl ErasureCode for MatrixCode {
             out.iter_mut().for_each(|b| *b = 0);
             let row = self.generator.row(self.data + p);
             gf256::mul_acc_many(out, data, row);
+        }
+        Ok(())
+    }
+
+    fn encode_parity(&self, data: &[&[u8]], parity: &mut [Vec<u8>]) -> Result<(), ErasureError> {
+        let len = check_parity_inputs(data, parity.len(), self.data, self.parity_shards(), 1)?;
+        for (p, out) in parity.iter_mut().enumerate() {
+            out.clear();
+            out.resize(len, 0);
+            gf256::mul_acc_many(out, data, self.generator.row(self.data + p));
         }
         Ok(())
     }

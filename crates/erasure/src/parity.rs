@@ -5,7 +5,7 @@
 //! supported redundancy codes and the simplest non-mirroring redundancy
 //! group the storage layer can place with Redundant Share.
 
-use crate::code::{check_optional_shards, check_shards, ErasureCode};
+use crate::code::{check_optional_shards, check_parity_inputs, check_shards, ErasureCode};
 use crate::error::ErasureError;
 use crate::gf256;
 
@@ -59,6 +59,17 @@ impl ErasureCode for XorParity {
         for d in data {
             debug_assert_eq!(d.len(), len);
             gf256::xor_acc(parity, d);
+        }
+        Ok(())
+    }
+
+    fn encode_parity(&self, data: &[&[u8]], parity: &mut [Vec<u8>]) -> Result<(), ErasureError> {
+        let len = check_parity_inputs(data, parity.len(), self.data, 1, 1)?;
+        let out = &mut parity[0];
+        out.clear();
+        out.resize(len, 0);
+        for d in data {
+            gf256::xor_acc(out, d);
         }
         Ok(())
     }

@@ -11,7 +11,7 @@
 //! Shards are columns; a shard of `L` bytes is treated as `p − 1` symbols
 //! of `L / (p − 1)` bytes.
 
-use crate::code::{check_optional_shards, check_shards, ErasureCode};
+use crate::code::{check_optional_shards, check_parity_inputs, check_shards, ErasureCode};
 use crate::error::ErasureError;
 use crate::evenodd::is_prime;
 use crate::gf256::xor_acc as xor_into;
@@ -102,6 +102,35 @@ impl ErasureCode for Rdp {
             }
         }
         shards[p] = diagpar;
+        Ok(())
+    }
+
+    #[allow(clippy::needless_range_loop)] // column index feeds the diagonal arithmetic
+    fn encode_parity(&self, data: &[&[u8]], parity: &mut [Vec<u8>]) -> Result<(), ErasureError> {
+        let p = self.p;
+        let len = check_parity_inputs(data, parity.len(), p - 1, 2, self.rows())?;
+        let sz = len / self.rows();
+        for out in parity.iter_mut() {
+            out.clear();
+            out.resize(len, 0);
+        }
+        let (rowpar, diagpar) = parity.split_at_mut(1);
+        let (rowpar, diagpar) = (&mut rowpar[0], &mut diagpar[0]);
+        // Row parity over the data columns.
+        for col in data {
+            xor_into(rowpar, col);
+        }
+        // Diagonal parity over data + row parity (column index p - 1).
+        for c in 0..p {
+            let col: &[u8] = if c < p - 1 { data[c] } else { rowpar };
+            for i in 0..p - 1 {
+                let d = (i + c) % p;
+                if d == p - 1 {
+                    continue;
+                }
+                xor_into(&mut diagpar[Self::sym(d, sz)], &col[Self::sym(i, sz)]);
+            }
+        }
         Ok(())
     }
 

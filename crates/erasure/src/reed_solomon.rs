@@ -8,7 +8,7 @@
 //! Codes" case the paper lists among the redundancy schemes Redundant Share
 //! supports.
 
-use crate::code::{check_optional_shards, check_shards, ErasureCode};
+use crate::code::{check_optional_shards, check_parity_inputs, check_shards, ErasureCode};
 use crate::error::ErasureError;
 use crate::gf256;
 use crate::matrix::Matrix;
@@ -90,6 +90,16 @@ impl ErasureCode for ReedSolomon {
             out.iter_mut().for_each(|b| *b = 0);
             let row = self.encode_matrix.row(self.data + p);
             gf256::mul_acc_many(out, data, row);
+        }
+        Ok(())
+    }
+
+    fn encode_parity(&self, data: &[&[u8]], parity: &mut [Vec<u8>]) -> Result<(), ErasureError> {
+        let len = check_parity_inputs(data, parity.len(), self.data, self.parity, 1)?;
+        for (p, out) in parity.iter_mut().enumerate() {
+            out.clear();
+            out.resize(len, 0);
+            gf256::mul_acc_many(out, data, self.encode_matrix.row(self.data + p));
         }
         Ok(())
     }

@@ -2,7 +2,25 @@
 //! any erasure pattern within its tolerance, and reject patterns beyond it.
 
 use proptest::prelude::*;
+use rshare_erasure::gf256::KernelTier;
 use rshare_erasure::{gf256, ErasureCode, EvenOdd, MatrixCode, Rdp, ReedSolomon, XorParity};
+
+/// All dispatchable tiers, most to least specialised. On hardware without
+/// SSSE3 the `Simd` entry exercises its documented SWAR fallback — still a
+/// valid equivalence case.
+const TIERS: [KernelTier; 3] = [KernelTier::Simd, KernelTier::Swar, KernelTier::Table];
+
+/// Deterministic pseudo-random buffer for kernel inputs.
+fn prng_bytes(len: usize, mut state: u64) -> Vec<u8> {
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u8
+        })
+        .collect()
+}
 
 /// Runs encode → erase → reconstruct and checks equality with the original.
 fn roundtrip(code: &dyn ErasureCode, data: &[Vec<u8>], lose: &[usize]) {
@@ -198,5 +216,123 @@ proptest! {
             }
             prop_assert_eq!(got, &want, "parity row {}", row_idx);
         }
+    }
+
+    // --- Tier equivalence: SIMD, SWAR and table kernels must be ---------
+    // --- bit-identical to the byte-wise reference on every input shape. -
+
+    /// `mul_acc` across all tiers, at unaligned offsets into a shared
+    /// buffer, lengths that are not multiples of any vector width
+    /// (including 0), and c drawn from {0, 1, random}.
+    #[test]
+    fn all_tiers_mul_acc_match_reference(
+        len in 0usize..=517,
+        offset in 0usize..=31,
+        c_kind in 0usize..3,
+        c_raw in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let c = match c_kind {
+            0 => 0u8,
+            1 => 1,
+            _ => (c_raw | 2) as u8, // any value; 0/1 already pinned above
+        };
+        let data = prng_bytes(offset + len, seed);
+        let acc0 = prng_bytes(offset + len, seed.rotate_left(13));
+        let mut want = acc0[offset..].to_vec();
+        gf256::mul_acc_bytewise(&mut want, &data[offset..], c);
+        for tier in TIERS {
+            let mut got = acc0.clone();
+            gf256::mul_acc_with(tier, &mut got[offset..], &data[offset..], c);
+            prop_assert_eq!(&got[offset..], &want[..], "tier {:?} c {}", tier, c);
+            // Bytes before the offset must be untouched.
+            prop_assert_eq!(&got[..offset], &acc0[..offset], "tier {:?} prefix", tier);
+        }
+    }
+
+    /// `xor_acc` across all tiers at unaligned offsets and ragged lengths.
+    #[test]
+    fn all_tiers_xor_acc_match_reference(
+        len in 0usize..=517,
+        offset in 0usize..=31,
+        seed in any::<u64>(),
+    ) {
+        let data = prng_bytes(offset + len, seed);
+        let acc0 = prng_bytes(offset + len, seed.rotate_left(29));
+        let want: Vec<u8> = acc0[offset..]
+            .iter()
+            .zip(&data[offset..])
+            .map(|(a, d)| a ^ d)
+            .collect();
+        for tier in TIERS {
+            let mut got = acc0.clone();
+            gf256::xor_acc_with(tier, &mut got[offset..], &data[offset..]);
+            prop_assert_eq!(&got[offset..], &want[..], "tier {:?}", tier);
+        }
+    }
+
+    /// `mul_acc_many` (the tiled multi-source accumulator) across all
+    /// tiers against per-source byte-wise accumulation, with coefficient
+    /// vectors mixing 0, 1 and arbitrary values.
+    #[test]
+    fn all_tiers_mul_acc_many_match_reference(
+        len in 0usize..=300,
+        nsrc in 1usize..=6,
+        seed in any::<u64>(),
+    ) {
+        let sources: Vec<Vec<u8>> = (0..nsrc)
+            .map(|j| prng_bytes(len, seed.wrapping_add(j as u64 * 977)))
+            .collect();
+        // First coefficients pin the special cases, the rest are random.
+        let coeffs: Vec<u8> = (0..nsrc)
+            .map(|j| match j {
+                0 => 0,
+                1 => 1,
+                _ => (seed.rotate_left(j as u32) | 2) as u8,
+            })
+            .collect();
+        let mut want = vec![0u8; len];
+        for (s, &c) in sources.iter().zip(&coeffs) {
+            gf256::mul_acc_bytewise(&mut want, s, c);
+        }
+        for tier in TIERS {
+            let mut got = vec![0u8; len];
+            gf256::mul_acc_many_with(tier, &mut got, &sources, &coeffs);
+            prop_assert_eq!(&got, &want, "tier {:?}", tier);
+        }
+    }
+
+    /// `encode_parity` on borrowed data shards produces exactly the parity
+    /// that `encode` computes on the assembled codeword, for every code,
+    /// and reuses (not reallocates beyond need) the caller's buffers.
+    #[test]
+    fn encode_parity_matches_encode(
+        which in 0usize..5,
+        sz in 1usize..=48,
+        seed in any::<u64>(),
+    ) {
+        let code: Box<dyn ErasureCode> = match which {
+            0 => Box::new(ReedSolomon::new(4, 2).unwrap()),
+            1 => Box::new(XorParity::new(5).unwrap()),
+            2 => Box::new(EvenOdd::new(5).unwrap()),
+            3 => Box::new(Rdp::new(5).unwrap()),
+            _ => Box::new(MatrixCode::local_reconstruction(2, 3, 1).unwrap()),
+        };
+        let len = sz * code.shard_multiple();
+        let data: Vec<Vec<u8>> = (0..code.data_shards())
+            .map(|j| prng_bytes(len, seed.wrapping_add(j as u64 * 409)))
+            .collect();
+        let mut full: Vec<Vec<u8>> = data.clone();
+        full.extend(std::iter::repeat_n(vec![0u8; len], code.parity_shards()));
+        code.encode(&mut full).unwrap();
+        let refs: Vec<&[u8]> = data.iter().map(Vec::as_slice).collect();
+        // Deliberately mis-sized buffers: encode_parity must resize them.
+        let mut parity: Vec<Vec<u8>> = vec![vec![0xAB; 3]; code.parity_shards()];
+        code.encode_parity(&refs, &mut parity).unwrap();
+        prop_assert_eq!(&parity[..], &full[code.data_shards()..]);
+        // Wrong arity is rejected.
+        prop_assert!(code.encode_parity(&refs[1..], &mut parity).is_err());
+        let mut short = parity[..code.parity_shards() - 1].to_vec();
+        prop_assert!(code.encode_parity(&refs, &mut short).is_err());
     }
 }

@@ -608,6 +608,99 @@ impl StorageCluster {
         Ok(())
     }
 
+    /// Writes many logical blocks through the fused stripe pipeline:
+    /// encode → place → shard-store per block. Data shards are stored
+    /// straight from `data` (never copied into owned shards —
+    /// [`rshare_erasure::ErasureCode::encode_parity`]), parity scratch is
+    /// hoisted out of the loop, and device-side overwrites recycle the
+    /// stored `Vec`, so the steady state allocates nothing per block.
+    /// `data` is the concatenation of the blocks, in `lbas` order.
+    ///
+    /// Cluster state, placements, metrics and per-device I/O counters are
+    /// identical to calling [`StorageCluster::write_block`] once per block
+    /// (proptest-pinned); only the allocation profile differs. Encode
+    /// parities stream through the tiered GF(256) kernels
+    /// ([`rshare_erasure::gf256::kernel_tier`]).
+    ///
+    /// # Errors
+    ///
+    /// * [`VdsError::WrongBlockSize`] if `data` is not exactly
+    ///   `lbas.len()` blocks.
+    /// * [`VdsError::OutOfSpace`] / [`VdsError::DeviceFailed`] from the
+    ///   target devices; blocks before the failing one remain written,
+    ///   exactly as with a per-block loop.
+    pub fn write_blocks(&mut self, lbas: &[u64], data: &[u8]) -> Result<(), VdsError> {
+        let expected = lbas.len() * self.block_size;
+        if data.len() != expected {
+            return Err(VdsError::WrongBlockSize {
+                expected,
+                got: data.len(),
+            });
+        }
+        if lbas.is_empty() {
+            return Ok(());
+        }
+        // Data shards are borrowed straight out of `data`; only parity is
+        // materialized, into scratch that lives across the whole batch
+        // (`encode_parity` resizes it in place each iteration).
+        let mut parity: Vec<Vec<u8>> =
+            vec![Vec::new(); self.codec.as_deref().map_or(0, ErasureCode::parity_shards)];
+        let mut refs: Vec<&[u8]> = Vec::new();
+        let mut old_ids: Vec<u64> = Vec::new();
+        for (&lba, block) in lbas.iter().zip(data.chunks_exact(self.block_size)) {
+            refs.clear();
+            if let Some(codec) = self.codec.as_deref() {
+                let shard_len = self.block_size / codec.data_shards();
+                refs.extend(block.chunks_exact(shard_len));
+                codec.encode_parity(&refs, &mut parity)?;
+            } else {
+                // Mirroring: every copy is the block itself.
+                refs.extend(std::iter::repeat_n(block, self.redundancy.total_shards()));
+            }
+            // Writes always land at the target placement; if the block was
+            // awaiting lazy migration, the overwrite completes it for free.
+            let completes_migration = if let Some(p) = &mut self.pending {
+                if p.remaining.remove(&lba) {
+                    old_ids.clear();
+                    old_ids.extend(p.old_strategy.place(lba).into_iter().map(|id| id.raw()));
+                    true
+                } else {
+                    false
+                }
+            } else {
+                false
+            };
+            let placement = self.target_placement(lba);
+            let total = refs.len() + parity.len();
+            for (i, &dev_id) in placement.iter().enumerate().take(total) {
+                let shard: &[u8] = if i < refs.len() {
+                    refs[i]
+                } else {
+                    &parity[i - refs.len()]
+                };
+                let device = self
+                    .devices
+                    .get_mut(&dev_id)
+                    .ok_or(VdsError::UnknownDevice { id: dev_id })?;
+                device.store_from((lba, i), shard)?;
+            }
+            if completes_migration {
+                for (i, dev_id) in old_ids.iter().enumerate() {
+                    if *dev_id != placement[i] {
+                        if let Some(d) = self.devices.get_mut(dev_id) {
+                            d.remove(&(lba, i));
+                        }
+                    }
+                }
+            }
+            self.blocks.insert(lba);
+            if let Some(m) = &self.metrics {
+                m.writes_total.inc();
+            }
+        }
+        Ok(())
+    }
+
     /// Reads one logical block, touching as few devices as possible:
     /// mirrored blocks read a single copy (rotated over the copies so read
     /// load follows capacity — the paper's "x% of the requests" fairness),
@@ -619,8 +712,30 @@ impl StorageCluster {
     /// * [`VdsError::BlockNotFound`] if the block was never written.
     /// * [`VdsError::DataLoss`] if too many shards are gone.
     pub fn read_block(&self, lba: u64) -> Result<Vec<u8>, VdsError> {
+        let mut block = vec![0u8; self.block_size];
+        self.read_block_into(lba, &mut block)?;
+        Ok(block)
+    }
+
+    /// Reads one logical block into a caller-provided buffer — the
+    /// zero-allocation variant of [`StorageCluster::read_block`]: the
+    /// common path copies shards straight into `buf` with no per-read
+    /// `Vec` allocation. Semantics, metrics and device counters are
+    /// identical to `read_block` (which delegates here).
+    ///
+    /// # Errors
+    ///
+    /// * [`VdsError::WrongBlockSize`] if `buf` is not exactly one block.
+    /// * Otherwise the same conditions as [`StorageCluster::read_block`].
+    pub fn read_block_into(&self, lba: u64, buf: &mut [u8]) -> Result<(), VdsError> {
+        if buf.len() != self.block_size {
+            return Err(VdsError::WrongBlockSize {
+                expected: self.block_size,
+                got: buf.len(),
+            });
+        }
         let Some(m) = &self.metrics else {
-            return self.read_block_inner(lba).map(|(data, _)| data);
+            return self.read_into_inner(lba, buf).map(|_| ());
         };
         // Counters are exact; the latency histogram samples one read in
         // [`LATENCY_SAMPLE`] — timing every read would spend two
@@ -629,13 +744,13 @@ impl StorageCluster {
         // end of the success path; failed reads cancel it.
         let span = (m.reads_total.get() % LATENCY_SAMPLE == 0)
             .then(|| SpanTimer::new(&*m.read_latency_ns));
-        match self.read_block_inner(lba) {
-            Ok((data, degraded)) => {
+        match self.read_into_inner(lba, buf) {
+            Ok(degraded) => {
                 m.reads_total.inc();
                 if degraded {
                     m.degraded_reads_total.inc();
                 }
-                Ok(data)
+                Ok(())
             }
             Err(e) => {
                 if let Some(span) = span {
@@ -649,8 +764,7 @@ impl StorageCluster {
     /// The uninstrumented read path. The boolean is `true` when the read
     /// was *degraded*: served from a non-preferred mirror copy or via
     /// erasure reconstruction.
-    #[allow(clippy::needless_range_loop)] // shard index is also the copy identity
-    fn read_block_inner(&self, lba: u64) -> Result<(Vec<u8>, bool), VdsError> {
+    fn read_into_inner(&self, lba: u64, buf: &mut [u8]) -> Result<bool, VdsError> {
         if !self.blocks.contains(&lba) {
             return Err(VdsError::BlockNotFound { lba });
         }
@@ -667,12 +781,12 @@ impl StorageCluster {
                     (rshare_hash::stable_hash2(lba, READ_BALANCE_DOMAIN) % k as u64) as usize;
                 for step in 0..k {
                     let i = (preferred + step) % k;
-                    if let Some(data) = self
+                    if self
                         .devices
                         .get(&placement[i])
-                        .and_then(|d| d.load(&(lba, i)))
+                        .is_some_and(|d| d.load_into(&(lba, i), buf))
                     {
-                        return Ok((data, step > 0));
+                        return Ok(step > 0);
                     }
                 }
                 Err(VdsError::DataLoss { lba })
@@ -685,32 +799,46 @@ impl StorageCluster {
                     reason: "erasure redundancy configured without a codec",
                 })?;
                 let d = codec.data_shards();
-                // Fast path: all data shards present.
-                let mut shards: Vec<Option<Vec<u8>>> = (0..d)
-                    .map(|i| {
-                        self.devices
-                            .get(&placement[i])
-                            .and_then(|dev| dev.load(&(lba, i)))
-                    })
-                    .collect();
-                if shards.iter().all(Option::is_some) {
-                    let mut block = Vec::with_capacity(self.block_size);
-                    for shard in shards.into_iter().flatten() {
-                        block.extend_from_slice(&shard);
+                let shard_len = self.block_size / d;
+                // Fast path: copy each data shard straight into its stripe
+                // segment of `buf` — no per-shard `Vec`.
+                let mut loaded = 0;
+                while loaded < d {
+                    let seg = &mut buf[loaded * shard_len..(loaded + 1) * shard_len];
+                    if self
+                        .devices
+                        .get(&placement[loaded])
+                        .is_some_and(|dev| dev.load_into(&(lba, loaded), seg))
+                    {
+                        loaded += 1;
+                    } else {
+                        break;
                     }
-                    return Ok((block, false));
                 }
-                // Degraded read: pull parity shards and reconstruct.
-                for i in d..k {
-                    shards.push(
-                        self.devices
-                            .get(&placement[i])
-                            .and_then(|dev| dev.load(&(lba, i))),
-                    );
+                if loaded == d {
+                    return Ok(false);
                 }
-                self.redundancy
-                    .decode_block(shards, self.codec.as_deref(), lba)
-                    .map(|data| (data, true))
+                // Degraded read: keep what the fast path already pulled,
+                // fetch the remaining data + parity shards, reconstruct.
+                // Device read counters stay identical to the fast path
+                // attempting every shard once: the prefix is not re-read.
+                let mut shards: Vec<Option<Vec<u8>>> = Vec::with_capacity(k);
+                for i in 0..k {
+                    if i < loaded {
+                        shards.push(Some(buf[i * shard_len..(i + 1) * shard_len].to_vec()));
+                    } else {
+                        shards.push(
+                            self.devices
+                                .get(&placement[i])
+                                .and_then(|dev| dev.load(&(lba, i))),
+                        );
+                    }
+                }
+                let data = self
+                    .redundancy
+                    .decode_block(shards, self.codec.as_deref(), lba)?;
+                buf.copy_from_slice(&data);
+                Ok(true)
             }
         }
     }
@@ -722,7 +850,9 @@ impl StorageCluster {
     /// Reads need only `&self` — shard contents are immutable between
     /// writes and the per-device I/O counters are atomic — so the fan-out
     /// shares the cluster without locking. Batches too small to amortise
-    /// thread spawn cost run inline on the calling thread.
+    /// thread spawn cost run inline on the calling thread. Every read is
+    /// served through [`StorageCluster::read_block_into`], so the only
+    /// per-block allocation is the returned block itself.
     ///
     /// # Errors
     ///
@@ -1373,6 +1503,12 @@ impl StorageCluster {
     /// devices and relocates data; `repair` restores redundancy when the
     /// device set is unchanged.
     ///
+    /// Reconstruction is fused per chunk: degraded stripes are gathered,
+    /// decoded and re-stored through the batched block-op executor, and
+    /// the decode itself streams through the tiered GF(256) kernels
+    /// ([`rshare_erasure::gf256::kernel_tier`]) via `mul_acc_many` in
+    /// cache-sized tiles.
+    ///
     /// # Errors
     ///
     /// [`VdsError::DataLoss`] if a block lost more shards than the
@@ -1383,7 +1519,15 @@ impl StorageCluster {
         let mut repaired = 0u64;
         let mut flat: Vec<u64> = Vec::new();
         for chunk in lbas.chunks(MIGRATION_CHUNK_BLOCKS) {
-            self.effective_flat(chunk, &mut flat);
+            // Placements are unchanged during a repair, so the flat run is
+            // built from per-block effective placements — served by the
+            // epoch cache — rather than `effective_flat`'s bulk strategy
+            // scan, which exists for migrations that just bumped the epoch
+            // and would miss the cache on every block anyway.
+            flat.clear();
+            for &lba in chunk {
+                flat.extend_from_slice(&self.effective_placement(lba));
+            }
             let mut work: Vec<usize> = Vec::new();
             for (j, &lba) in chunk.iter().enumerate() {
                 let degraded = flat[j * k..(j + 1) * k]
@@ -1749,6 +1893,20 @@ impl StorageCluster {
         sample_line(&mut out, "gf_mul_bytes_total", &[], ks.mul_bytes);
         family_header(
             &mut out,
+            "gf_simd_bytes_total",
+            "counter",
+            "Multiply bytes served by the SIMD kernel tier (process-wide)",
+        );
+        sample_line(&mut out, "gf_simd_bytes_total", &[], ks.simd_bytes);
+        family_header(
+            &mut out,
+            "gf_swar_bytes_total",
+            "counter",
+            "Multiply bytes served by the portable SWAR kernel tier (process-wide)",
+        );
+        sample_line(&mut out, "gf_swar_bytes_total", &[], ks.swar_bytes);
+        family_header(
+            &mut out,
             "gf_kernel_calls_total",
             "counter",
             "GF(256) bulk kernel invocations (process-wide)",
@@ -1943,6 +2101,78 @@ mod tests {
                 expected: 64,
                 got: 7
             })
+        ));
+    }
+
+    #[test]
+    fn write_blocks_matches_write_block_loop() {
+        let rs = || {
+            StorageCluster::builder()
+                .block_size(64)
+                .redundancy(Redundancy::ReedSolomon { data: 4, parity: 2 })
+                .device(0, 10_000)
+                .device(1, 10_000)
+                .device(2, 10_000)
+                .device(3, 10_000)
+                .device(4, 10_000)
+                .device(5, 10_000)
+                .device(6, 10_000)
+                .build()
+                .unwrap()
+        };
+        let (mut fused, mut looped) = (rs(), rs());
+        let lbas: Vec<u64> = (0..300u64).collect();
+        let mut data = Vec::new();
+        for &lba in &lbas {
+            data.extend_from_slice(&block(lba as u8, 64));
+        }
+        fused.write_blocks(&lbas, &data).unwrap();
+        for (&lba, chunk) in lbas.iter().zip(data.chunks_exact(64)) {
+            looped.write_block(lba, chunk).unwrap();
+        }
+        assert_eq!(fused.block_count(), looped.block_count());
+        for id in fused.device_ids() {
+            let (f, l) = (fused.device(id).unwrap(), looped.device(id).unwrap());
+            assert_eq!(f.used_blocks(), l.used_blocks(), "device {id}");
+            assert_eq!(f.stats(), l.stats(), "device {id} I/O counters");
+        }
+        for &lba in &lbas {
+            assert_eq!(fused.read_block(lba).unwrap(), block(lba as u8, 64));
+            assert_eq!(fused.placement(lba), looped.placement(lba));
+        }
+        // Batch size validation.
+        assert!(matches!(
+            fused.write_blocks(&[0, 1], &[0u8; 64]),
+            Err(VdsError::WrongBlockSize {
+                expected: 128,
+                got: 64
+            })
+        ));
+        // Empty batch is a no-op.
+        fused.write_blocks(&[], &[]).unwrap();
+    }
+
+    #[test]
+    fn read_block_into_matches_read_block() {
+        let mut c = mirror_cluster();
+        for lba in 0..50u64 {
+            c.write_block(lba, &block(lba as u8, 64)).unwrap();
+        }
+        let mut buf = vec![0u8; 64];
+        for lba in 0..50u64 {
+            c.read_block_into(lba, &mut buf).unwrap();
+            assert_eq!(buf, block(lba as u8, 64));
+        }
+        assert!(matches!(
+            c.read_block_into(0, &mut [0u8; 7]),
+            Err(VdsError::WrongBlockSize {
+                expected: 64,
+                got: 7
+            })
+        ));
+        assert!(matches!(
+            c.read_block_into(9_999, &mut buf),
+            Err(VdsError::BlockNotFound { lba: 9_999 })
         ));
     }
 
@@ -2858,6 +3088,9 @@ mod tests {
             "device_online{device=\"1\"} 1",
             "gf_xor_bytes_total",
             "gf_mul_bytes_total",
+            "gf_simd_bytes_total",
+            "gf_swar_bytes_total",
+            "gf_kernel_calls_total",
         ] {
             assert!(text.contains(family), "missing {family} in:\n{text}");
         }

@@ -178,6 +178,42 @@ impl Device {
         Ok(())
     }
 
+    /// Stores a shard by copying from a borrowed slice, reusing the
+    /// existing allocation on overwrite. Semantically identical to
+    /// [`Device::store`] (same capacity/failure checks, same counters) but
+    /// allocation-free in the steady state of the fused write pipeline,
+    /// where every block of a batch overwrites an existing shard.
+    pub(crate) fn store_from(&mut self, key: ShardKey, data: &[u8]) -> Result<(), VdsError> {
+        if self.state == DeviceState::Failed {
+            return Err(VdsError::DeviceFailed { id: self.id });
+        }
+        // One hash probe for check + write: the occupancy for the capacity
+        // check is read before the entry, which then serves both the
+        // existence test and the slot.
+        let used = self.shards.len() as u64;
+        match self.shards.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                let slot = e.into_mut();
+                slot.clear();
+                slot.extend_from_slice(data);
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                if used >= self.capacity_blocks {
+                    return Err(VdsError::OutOfSpace { id: self.id });
+                }
+                e.insert(data.to_vec());
+            }
+        }
+        self.stats.writes.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .bytes_written
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.stats
+            .busy_us
+            .fetch_add(self.profile.service_us(data.len()), Ordering::Relaxed);
+        Ok(())
+    }
+
     pub(crate) fn load(&self, key: &ShardKey) -> Option<Vec<u8>> {
         if self.state == DeviceState::Failed {
             return None;
@@ -193,6 +229,34 @@ impl Device {
                 .fetch_add(self.profile.service_us(d.len()), Ordering::Relaxed);
         }
         data
+    }
+
+    /// Copies a shard into a caller-provided buffer, avoiding the `Vec`
+    /// clone of [`Device::load`]. Returns `false` (without touching `out`
+    /// or the counters) when the device is failed, the shard is absent, or
+    /// the stored shard's length does not match `out` — the same cases in
+    /// which `load` would return `None` or the caller could not use the
+    /// data anyway.
+    pub(crate) fn load_into(&self, key: &ShardKey, out: &mut [u8]) -> bool {
+        if self.state == DeviceState::Failed {
+            return false;
+        }
+        let Some(data) = self.shards.get(key) else {
+            return false;
+        };
+        if data.len() != out.len() {
+            debug_assert_eq!(data.len(), out.len(), "shard length mismatch");
+            return false;
+        }
+        out.copy_from_slice(data);
+        self.stats.reads.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .bytes_read
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.stats
+            .busy_us
+            .fetch_add(self.profile.service_us(data.len()), Ordering::Relaxed);
+        true
     }
 
     /// Clears the I/O counters (e.g. between workload phases).
@@ -239,6 +303,43 @@ mod tests {
             d.store((1, 0), vec![4]),
             Err(VdsError::DeviceFailed { id: 7 })
         );
+    }
+
+    #[test]
+    fn store_from_matches_store_semantics() {
+        let mut d = Device::new(1, 2);
+        d.store_from((0, 0), &[1]).unwrap();
+        d.store_from((1, 0), &[2]).unwrap();
+        assert_eq!(
+            d.store_from((2, 0), &[3]),
+            Err(VdsError::OutOfSpace { id: 1 })
+        );
+        // Overwrites reuse the existing slot and are always allowed.
+        d.store_from((1, 0), &[9, 9]).unwrap();
+        assert_eq!(d.load(&(1, 0)), Some(vec![9, 9]));
+        d.fail();
+        assert_eq!(
+            d.store_from((0, 0), &[4]),
+            Err(VdsError::DeviceFailed { id: 1 })
+        );
+    }
+
+    #[test]
+    fn load_into_matches_load() {
+        let mut d = Device::new(3, 4);
+        d.store((5, 1), vec![7, 8, 9]).unwrap();
+        let mut buf = [0u8; 3];
+        assert!(d.load_into(&(5, 1), &mut buf));
+        assert_eq!(buf, [7, 8, 9]);
+        // Missing shard: untouched buffer, no read counted.
+        let before = d.stats();
+        let mut other = [1u8; 3];
+        assert!(!d.load_into(&(6, 0), &mut other));
+        assert_eq!(other, [1u8; 3]);
+        assert_eq!(d.stats().reads, before.reads);
+        // Counters match what load would have recorded.
+        assert_eq!(d.stats().reads, 1);
+        assert_eq!(d.stats().bytes_read, 3);
     }
 
     #[test]

@@ -121,20 +121,47 @@ impl Redundancy {
         block: &[u8],
         codec: Option<&dyn ErasureCode>,
     ) -> Result<Vec<Vec<u8>>, VdsError> {
+        let mut shards = Vec::new();
+        self.encode_block_into(block, codec, &mut shards)?;
+        Ok(shards)
+    }
+
+    /// Encodes into caller-owned scratch shards, reusing their allocations.
+    ///
+    /// Identical output to [`Redundancy::encode_block`]; after the first
+    /// call the shard buffers are resized in place, so a batch writer can
+    /// encode an entire stripe sequence with zero per-block allocation.
+    pub(crate) fn encode_block_into(
+        &self,
+        block: &[u8],
+        codec: Option<&dyn ErasureCode>,
+        shards: &mut Vec<Vec<u8>>,
+    ) -> Result<(), VdsError> {
         match self {
-            Self::Mirror { copies } => Ok(vec![block.to_vec(); *copies]),
+            Self::Mirror { copies } => {
+                shards.resize_with(*copies, Vec::new);
+                for shard in shards.iter_mut() {
+                    shard.clear();
+                    shard.extend_from_slice(block);
+                }
+                Ok(())
+            }
             _ => {
                 let codec = codec.expect("erasure scheme has a codec");
                 let d = codec.data_shards();
                 debug_assert_eq!(block.len() % d, 0);
                 let shard_len = block.len() / d;
-                let mut shards: Vec<Vec<u8>> =
-                    block.chunks_exact(shard_len).map(<[u8]>::to_vec).collect();
-                shards.extend(
-                    std::iter::repeat_with(|| vec![0u8; shard_len]).take(codec.parity_shards()),
-                );
-                codec.encode(&mut shards)?;
-                Ok(shards)
+                shards.resize_with(codec.total_shards(), Vec::new);
+                for (i, shard) in shards.iter_mut().enumerate() {
+                    shard.clear();
+                    if i < d {
+                        shard.extend_from_slice(&block[i * shard_len..(i + 1) * shard_len]);
+                    } else {
+                        shard.resize(shard_len, 0);
+                    }
+                }
+                codec.encode(shards)?;
+                Ok(())
             }
         }
     }
@@ -228,6 +255,27 @@ mod tests {
         opt[5] = None;
         let got = scheme.decode_block(opt, codec.as_deref(), 0).unwrap();
         assert_eq!(got, block);
+    }
+
+    #[test]
+    fn encode_block_into_reuses_scratch() {
+        let scheme = Redundancy::ReedSolomon { data: 4, parity: 2 };
+        let codec = scheme.codec().unwrap();
+        let mut scratch = Vec::new();
+        for round in 0..3u8 {
+            let block: Vec<u8> = (0..32).map(|b| b ^ round).collect();
+            scheme
+                .encode_block_into(&block, codec.as_deref(), &mut scratch)
+                .unwrap();
+            let fresh = scheme.encode_block(&block, codec.as_deref()).unwrap();
+            assert_eq!(scratch, fresh);
+        }
+        // Mirror path too, including shrinking an oversized scratch.
+        let mirror = Redundancy::Mirror { copies: 2 };
+        mirror
+            .encode_block_into(&[1, 2], None, &mut scratch)
+            .unwrap();
+        assert_eq!(scratch, vec![vec![1, 2], vec![1, 2]]);
     }
 
     #[test]
